@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``test_bench_*`` file regenerates one of the paper's tables or
+figures.  ``REPRO_SCALE`` picks the sizing preset (default ``small``;
+``paper`` for full-scale runs).  Benchmarks print their result tables —
+run with ``pytest benchmarks/ --benchmark-only -s`` to see them.
+"""
+
+import pytest
+
+from repro.bench.scales import get_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return get_scale()
+
+
+def record(benchmark, result):
+    """Attach an ExperimentResult's numbers to the benchmark JSON."""
+    benchmark.extra_info["exp_id"] = result.exp_id
+    benchmark.extra_info["scale"] = result.meta.get("scale")
+    for s in result.series:
+        benchmark.extra_info[s.label] = list(zip(s.x, s.y))

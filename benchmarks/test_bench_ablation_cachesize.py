@@ -1,0 +1,49 @@
+"""Ablation: inode-cache capacity vs read throughput.
+
+"caching with leases and replication are popular approaches ... for
+random workloads larger than the cache extra RPCs hurt performance"
+(paper §VI).  Sweep the MDS inode-cache size against a fixed namespace
+and measure lookup throughput.
+"""
+
+from repro.bench.report import format_table
+from repro.cluster import Cluster
+from repro.mds.server import MDSConfig, Request
+
+NAMESPACE = 200_000
+LOOKUPS = 5_000
+CACHES = [400_000, 200_000, 100_000, 50_000, 25_000]
+
+
+def run_cache_sweep(scale):
+    rows = []
+    for cache in CACHES:
+        cluster = Cluster(
+            mds_config=MDSConfig(
+                materialize=False, service_jitter_cv=0.0,
+                journal_enabled=False, inode_cache_entries=cache,
+            )
+        )
+        done = cluster.mds.submit(Request("create", "/ns", 1, count=NAMESPACE))
+        cluster.run()
+        assert done.value.ok
+        t0 = cluster.now
+        done = cluster.mds.submit(
+            Request("lookup", "/ns/probe", 2, count=LOOKUPS)
+        )
+        cluster.run()
+        rows.append((cache, LOOKUPS / (cluster.now - t0)))
+    return rows
+
+
+def test_bench_ablation_cachesize(benchmark, scale):
+    rows = benchmark.pedantic(lambda: run_cache_sweep(scale), rounds=1,
+                              iterations=1)
+    print("\n== ablation: inode-cache size vs lookup throughput "
+          f"(namespace = {NAMESPACE:,} inodes) ==")
+    print(format_table(["cache entries", "lookups/s"], rows))
+    benchmark.extra_info["sweep"] = rows
+    tput = dict(rows)
+    # cache >= namespace: full speed; throughput degrades monotonically
+    assert tput[400_000] > tput[100_000] > tput[25_000]
+    assert tput[400_000] / tput[25_000] > 1.5

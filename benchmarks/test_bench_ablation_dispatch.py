@@ -1,0 +1,45 @@
+"""Ablation: journal dispatch-window size sweep.
+
+Extends Figure 3a's three plotted sizes to a full sweep, verifying the
+model's claims: dispatch 1 is cheapest, mid sizes peak, and very large
+windows "approach a dispatch size of 1" (paper §II-A).
+"""
+
+from repro.bench.report import format_table
+from repro.cluster import Cluster
+from repro.mds.server import MDSConfig
+from repro.workloads.createheavy import parallel_creates_rpc
+
+SWEEP = [1, 5, 10, 18, 30, 40, 80, 200]
+
+
+def run_sweep(scale):
+    clients = max(scale.clients)
+    rows = []
+    base = None
+    for dispatch in SWEEP:
+        cluster = Cluster(
+            mds_config=MDSConfig(dispatch_size=dispatch, materialize=False)
+        )
+        res = cluster.run(
+            parallel_creates_rpc(
+                cluster, clients, scale.ops_per_client, batch=scale.batch
+            )
+        )
+        t = res.slowest_client_time
+        base = base or t
+        rows.append((dispatch, t, t / base))
+    return rows
+
+
+def test_bench_ablation_dispatch(benchmark, scale):
+    rows = benchmark.pedantic(lambda: run_sweep(scale), rounds=1, iterations=1)
+    print("\n== ablation: dispatch window sweep (vs dispatch=1) ==")
+    print(format_table(["dispatch", "slowest client (s)", "relative"], rows))
+    benchmark.extra_info["sweep"] = [(d, rel) for d, _, rel in rows]
+    rel = {d: r for d, _, r in rows}
+    # mid sizes worst, huge windows converge back to dispatch-1 cost
+    peak = max(rel.values())
+    assert rel[18] == peak or rel[30] == peak or rel[10] == peak
+    assert rel[200] < rel[18]
+    assert abs(rel[200] - 1.0) < 0.1

@@ -1,0 +1,49 @@
+"""Ablation: the inode cache's effect on the create path.
+
+"If a client has the directory inode cached it can do metadata writes
+(e.g., create) with a single RPC.  If the client is not caching the
+directory inode then it must do an extra RPC" (paper §II-B).  This
+ablation measures the 1-RPC vs 2-RPC create directly by pre-poisoning
+the capability state.
+"""
+
+import pytest
+
+from repro.bench.report import format_table
+from repro.cluster import Cluster
+from repro.mds.server import MDSConfig
+from repro.workloads.createheavy import parallel_creates_rpc
+
+
+def run_cache_ablation(scale):
+    ops = scale.ops_per_client
+
+    # cached: sole writer keeps the exclusive cap the whole run
+    cluster = Cluster(mds_config=MDSConfig(materialize=False))
+    res = cluster.run(parallel_creates_rpc(cluster, 1, ops, batch=scale.batch))
+    cached_t = res.slowest_client_time
+
+    # uncached: a second writer shares every directory up front, so the
+    # cap is revoked and every create pays the lookup
+    cluster = Cluster(mds_config=MDSConfig(materialize=False))
+    poison = cluster.new_client()
+    cluster.run(poison.create_many("/dirs/dir0", 1))
+    res = cluster.run(parallel_creates_rpc(cluster, 1, ops, batch=scale.batch))
+    uncached_t = res.slowest_client_time
+    return cached_t, uncached_t
+
+
+def test_bench_ablation_inodecache(benchmark, scale):
+    cached_t, uncached_t = benchmark.pedantic(
+        lambda: run_cache_ablation(scale), rounds=1, iterations=1
+    )
+    ratio = uncached_t / cached_t
+    print("\n== ablation: inode cache on the create path ==")
+    print(format_table(
+        ["config", "time (s)", "relative"],
+        [("cached dir inode (1 RPC)", cached_t, 1.0),
+         ("revoked cap (2 RPCs)", uncached_t, ratio)],
+    ))
+    benchmark.extra_info["ratio"] = ratio
+    # an extra synchronous RPC roughly doubles the per-create cost
+    assert ratio == pytest.approx(1.9, rel=0.15)

@@ -1,0 +1,64 @@
+"""Ablation: dedicated metadata servers via subtree partitioning.
+
+The paper's opening motivation: "Applications perform better with
+dedicated metadata servers [3], [4] but provisioning a metadata server
+for every client is unreasonable."  This ablation quantifies both
+halves on the simulated substrate: aggregate create throughput scales
+with MDS ranks until the client population becomes the bottleneck —
+after which extra ranks buy nothing.
+"""
+
+import pytest
+
+from repro.bench.report import format_table
+from repro.cluster import Cluster
+from repro.mds.server import MDSConfig
+from repro.sim.engine import AllOf
+
+RANKS = [1, 2, 4, 8]
+N_CLIENTS = 16
+
+
+def run_rank_sweep(scale):
+    ops = max(1000, scale.ops_per_client // 2)
+    rows = []
+    for num_mds in RANKS:
+        cluster = Cluster(
+            mds_config=MDSConfig(materialize=False, journal_enabled=False),
+            num_mds=num_mds,
+        )
+        for i in range(N_CLIENTS):
+            cluster.assign_subtree_mds(f"/grp{i}", i % num_mds)
+        clients = [cluster.new_client() for _ in range(N_CLIENTS)]
+
+        def worker(i):
+            resp = yield cluster.engine.process(
+                clients[i].create_many(f"/grp{i}/dir", ops)
+            )
+            assert resp.ok
+
+        def job():
+            yield AllOf(
+                cluster.engine,
+                [cluster.engine.process(worker(i)) for i in range(N_CLIENTS)],
+            )
+
+        t0 = cluster.now
+        cluster.run(job())
+        rows.append((num_mds, N_CLIENTS * ops / (cluster.now - t0)))
+    return rows
+
+
+def test_bench_ablation_multimds(benchmark, scale):
+    rows = benchmark.pedantic(lambda: run_rank_sweep(scale), rounds=1,
+                              iterations=1)
+    print(f"\n== ablation: MDS ranks vs aggregate throughput "
+          f"({N_CLIENTS} clients) ==")
+    print(format_table(["mds ranks", "total creates/s"], rows))
+    benchmark.extra_info["sweep"] = rows
+    tput = dict(rows)
+    assert tput[2] == pytest.approx(2 * tput[1], rel=0.1)
+    # past the client ceiling (16 x 654/s), extra ranks are wasted —
+    # the "provisioning an MDS per client is unreasonable" half.
+    assert tput[8] == pytest.approx(tput[4], rel=0.05)
+    assert tput[4] == pytest.approx(N_CLIENTS * 654, rel=0.1)

@@ -1,0 +1,49 @@
+"""Ablation: OSD count / replication vs Global Persist cost.
+
+"the bandwidth of the object store can help mitigate the overheads of
+globally persisting metadata updates" (paper §V-A): more OSDs means
+more aggregate bandwidth for the striped journal push, while a higher
+replication factor multiplies the write work.
+"""
+
+from repro.bench.report import format_table
+from repro.cluster import Cluster
+from repro.core.mechanisms import MechanismContext, run_mechanism
+from repro.mds.server import MDSConfig
+
+CONFIGS = [
+    # (num_osds, replication)
+    (1, 1),
+    (3, 1),
+    (3, 3),
+    (6, 3),
+    (12, 3),
+]
+
+
+def run_replication(scale):
+    rows = []
+    for num_osds, replication in CONFIGS:
+        cluster = Cluster(
+            num_osds=num_osds,
+            replication=replication,
+            mds_config=MDSConfig(materialize=False),
+        )
+        d = cluster.new_decoupled_client()
+        cluster.run(d.create_many("/sub", scale.fig5_ops))
+        ctx = MechanismContext(cluster, "/sub", d)
+        t0 = cluster.now
+        cluster.run(run_mechanism("global_persist", ctx))
+        rows.append((f"{num_osds} osds, rep={replication}", cluster.now - t0))
+    return rows
+
+
+def test_bench_ablation_replication(benchmark, scale):
+    rows = benchmark.pedantic(lambda: run_replication(scale), rounds=1, iterations=1)
+    print("\n== ablation: Global Persist vs cluster size/replication ==")
+    print(format_table(["config", "global persist (s)"], rows))
+    benchmark.extra_info["sweep"] = rows
+    t = dict(rows)
+    # replication makes the push costlier; more OSDs claw it back
+    assert t["3 osds, rep=3"] >= t["3 osds, rep=1"]
+    assert t["12 osds, rep=3"] <= t["3 osds, rep=3"]

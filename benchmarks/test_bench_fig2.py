@@ -1,0 +1,15 @@
+"""Figure 2: MDS resource utilization across compile phases."""
+
+from repro.bench.experiments import fig2
+from repro.bench.report import format_result
+
+from benchmarks.conftest import record
+
+
+def test_bench_fig2(benchmark, scale):
+    result = benchmark.pedantic(lambda: fig2(scale), rounds=1, iterations=1)
+    print("\n" + format_result(result))
+    record(benchmark, result)
+    cpu = result.get("mds cpu")
+    assert cpu.at("untar") > cpu.at("configure")
+    assert cpu.at("untar") > cpu.at("make")

@@ -1,0 +1,15 @@
+"""Figure 3a: journaling dispatch-size slowdown while scaling clients."""
+
+from repro.bench.experiments import fig3a
+from repro.bench.report import format_result
+
+from benchmarks.conftest import record
+
+
+def test_bench_fig3a(benchmark, scale):
+    result = benchmark.pedantic(lambda: fig3a(scale), rounds=1, iterations=1)
+    print("\n" + format_result(result))
+    record(benchmark, result)
+    top = max(scale.clients)
+    assert result.get("no journal").at(top) <= result.get("segments=40").at(top)
+    assert result.get("segments=30").at(top) > result.get("segments=1").at(top)

@@ -1,0 +1,14 @@
+"""Figure 3b: interference slowdown and variability while scaling clients."""
+
+from repro.bench.experiments import fig3b
+from repro.bench.report import format_result
+
+from benchmarks.conftest import record
+
+
+def test_bench_fig3b(benchmark, scale):
+    result = benchmark.pedantic(lambda: fig3b(scale), rounds=1, iterations=1)
+    print("\n" + format_result(result))
+    record(benchmark, result)
+    top = max(scale.clients)
+    assert result.get("interference").at(top) > result.get("no interference").at(top)

@@ -1,0 +1,16 @@
+"""Figure 3c: capability revocation turns local lookups into RPCs."""
+
+from repro.bench.experiments import fig3c
+from repro.bench.report import format_result
+
+from benchmarks.conftest import record
+
+
+def test_bench_fig3c(benchmark, scale):
+    result = benchmark.pedantic(lambda: fig3c(scale), rounds=1, iterations=1)
+    print("\n" + format_result(result))
+    record(benchmark, result)
+    lk = result.get("lookups/s (interference)")
+    third = len(lk.y) // 3
+    assert sum(lk.y[third:]) > sum(lk.y[:third])
+    assert sum(result.get("lookups/s (no interference)").y) == 0

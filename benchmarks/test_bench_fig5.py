@@ -1,0 +1,19 @@
+"""Figure 5: per-mechanism overhead of processing create events."""
+
+import pytest
+
+from repro.bench.experiments import fig5
+from repro.bench.report import format_result
+
+from benchmarks.conftest import record
+
+
+def test_bench_fig5(benchmark, scale):
+    result = benchmark.pedantic(lambda: fig5(scale), rounds=1, iterations=1)
+    print("\n" + format_result(result))
+    record(benchmark, result)
+    s = result.get("overhead")
+    assert s.at("rpcs") == pytest.approx(17, rel=0.12)
+    assert s.at("nonvolatile_apply") == pytest.approx(78, rel=0.15)
+    assert s.at("rpcs") / s.at("volatile_apply") == pytest.approx(19.9, rel=0.1)
+    assert s.at("POSIX") > s.at("BatchFS") > s.at("DeltaFS")

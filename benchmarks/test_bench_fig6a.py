@@ -1,0 +1,23 @@
+"""Figure 6a: parallel creates under RPC / decoupled / decoupled+merge."""
+
+import pytest
+
+from repro.bench.experiments import fig6a
+from repro.bench.report import format_result
+
+from benchmarks.conftest import record
+
+
+def test_bench_fig6a(benchmark, scale):
+    result = benchmark.pedantic(lambda: fig6a(scale), rounds=1, iterations=1)
+    print("\n" + format_result(result))
+    record(benchmark, result)
+    top = max(scale.clients)
+    rpc = result.get("rpcs").at(top)
+    merge = result.get("decoupled: create+merge").at(top)
+    create = result.get("decoupled: create").at(top)
+    assert rpc < merge < create
+    if top >= 20:
+        assert create == pytest.approx(91.7, rel=0.1)  # paper headline
+        assert rpc == pytest.approx(4.5, rel=0.25)
+        assert merge / rpc == pytest.approx(3.37, rel=0.5)

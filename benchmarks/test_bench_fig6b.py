@@ -1,0 +1,21 @@
+"""Figure 6b: the allow/block interfere policy isolates directories."""
+
+from repro.bench.experiments import fig6b
+from repro.bench.report import format_result
+
+from benchmarks.conftest import record
+
+
+def test_bench_fig6b(benchmark, scale):
+    result = benchmark.pedantic(lambda: fig6b(scale), rounds=1, iterations=1)
+    print("\n" + format_result(result))
+    for k, v in sorted(result.meta.items()):
+        if k.startswith(("slowdown", "sigma")):
+            print(f"{k} = {v:.3f}")
+    record(benchmark, result)
+    top = max(scale.clients)
+    none_v = result.get("no interference").at(top)
+    allow_v = result.get("interference").at(top)
+    block_v = result.get("block interference").at(top)
+    assert allow_v > none_v
+    assert abs(block_v - none_v) < 0.5 * (allow_v - none_v)

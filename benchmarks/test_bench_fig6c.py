@@ -1,0 +1,18 @@
+"""Figure 6c: namespace-sync interval sweep (read-while-writing)."""
+
+import pytest
+
+from repro.bench.experiments import fig6c
+from repro.bench.report import format_result
+
+from benchmarks.conftest import record
+
+
+def test_bench_fig6c(benchmark, scale):
+    result = benchmark.pedantic(lambda: fig6c(scale), rounds=1, iterations=1)
+    print("\n" + format_result(result))
+    record(benchmark, result)
+    s = result.get("overhead %")
+    assert s.at(1.0) == pytest.approx(9.0, abs=1.5)
+    assert s.at(10.0) == pytest.approx(2.0, abs=1.0)
+    assert s.at(max(scale.sync_intervals)) > s.at(10.0)

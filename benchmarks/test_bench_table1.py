@@ -1,0 +1,18 @@
+"""Table I: end-to-end cost of every consistency/durability cell."""
+
+import pytest
+
+from repro.bench.experiments import table1
+from repro.bench.report import format_result
+
+from benchmarks.conftest import record
+
+
+def test_bench_table1(benchmark, scale):
+    result = benchmark.pedantic(lambda: table1(scale), rounds=1, iterations=1)
+    print("\n" + format_result(result))
+    record(benchmark, result)
+    s = result.get("relative cost")
+    assert s.at("invisible/none") == pytest.approx(1.0)
+    for d in ("none", "local", "global"):
+        assert s.at(f"invisible/{d}") <= s.at(f"weak/{d}") <= s.at(f"strong/{d}")

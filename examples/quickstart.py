@@ -1,0 +1,58 @@
+"""Quickstart: assign consistency/durability policies to subtrees.
+
+Builds the paper's deployment (1 monitor, 3 OSDs, 1 MDS), decouples a
+subtree with a policies file, runs a small job against it, and merges
+the results back into the global namespace.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Cluster, Cudele
+
+POLICIES_YML = """
+# A BatchFS-style subtree: updates buffer locally, persist to the
+# client's disk, and merge into the global namespace at job end.
+consistency: "append client journal + volatile apply"
+durability: "local persist"
+allocated_inodes: 1000
+interfere: allow
+"""
+
+
+def main() -> None:
+    cluster = Cluster(num_osds=3, replication=3)
+    cudele = Cudele(cluster)
+
+    # Decouple /hpc/job42 with the policies file (paper §III-C:
+    # "(msevilla/mydir, policies.yml)").
+    ns = cluster.run(cudele.decouple("/hpc/job42", POLICIES_YML))
+    print(f"decoupled /hpc/job42 (policy-map version {cluster.mon.version})")
+    print(f"  consistency: {ns.policy.consistency}")
+    print(f"  durability:  {ns.policy.durability}")
+    print(f"  semantics:   {ns.semantics[0].value} / {ns.semantics[1].value}")
+    print(f"  inodes:      {ns.dclient.ino_range.count} provisioned")
+
+    # The job writes through the decoupled client at ~11K creates/s.
+    t0 = cluster.now
+    n = cluster.run(ns.create_many([f"ckpt.{i:04d}" for i in range(500)]))
+    print(f"\ncreated {n} files locally in {cluster.now - t0:.3f} simulated s")
+    print(f"  visible at the MDS yet? "
+          f"{cluster.mds.mdstore.exists('/hpc/job42/ckpt.0000')}")
+
+    # Completion: run the policy's mechanisms (local persist + merge).
+    timings = cluster.run(ns.finalize())
+    print("\nfinalize() mechanism timings:")
+    for mech, dt in timings.items():
+        print(f"  {mech:<16} {dt:.3f} s")
+    print(f"  visible at the MDS now? "
+          f"{cluster.mds.mdstore.exists('/hpc/job42/ckpt.0000')}")
+
+    # The rest of the namespace never left POSIX semantics.
+    fs_client = cluster.new_client()
+    resp = cluster.run(fs_client.ls("/hpc/job42"))
+    print(f"\nls /hpc/job42 -> {len(resp.value)} entries "
+          f"(first: {resp.value[0]})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""Exploring beyond the paper: shared metadata traces.
+
+The paper's related work (refs 27, 28) observes that real metadata
+workloads are skewed and heavily shared.  This example replays the same
+generated trace (uniform or Zipf-skewed directory popularity) from two
+clients: any sharing at all poisons the directory capabilities — nearly
+every create ends up paying the extra remote lookup — and throughput
+collapses to the contended RPC rate.  Cudele's fix: give each client a
+decoupled subtree, removing the shared state entirely.
+
+Run:  python examples/trace_replay.py
+"""
+
+from repro import Cluster, Cudele, SubtreePolicy
+from repro.mds.server import MDSConfig
+from repro.sim.engine import AllOf
+from repro.sim.rng import RngStream
+from repro.workloads.generators import OpMix, TraceConfig, replay_trace
+
+OPS = 4_000
+DIRS = 12
+
+
+def shared_namespace_run(zipf_s: float):
+    """Two clients replay the trace into the same directories."""
+    cluster = Cluster(mds_config=MDSConfig(materialize=False))
+    cfg = TraceConfig(ops=OPS, dirs=DIRS, zipf_s=zipf_s,
+                      mix=OpMix(create=4, lookup=1))
+    clients = [cluster.new_client() for _ in range(2)]
+
+    def job():
+        yield AllOf(
+            cluster.engine,
+            [
+                cluster.engine.process(
+                    replay_trace(c, cfg, RngStream(i, "trace"))
+                )
+                for i, c in enumerate(clients)
+            ],
+        )
+
+    t0 = cluster.now
+    cluster.run(job())
+    return (
+        2 * OPS / (cluster.now - t0),
+        cluster.mds.stats.counter("revocations").value,
+        cluster.mds.stats.counter("lookups").value,
+    )
+
+
+def decoupled_run(zipf_s: float):
+    """Same trace volume, but each client owns a decoupled subtree."""
+    cluster = Cluster(mds_config=MDSConfig(materialize=False))
+    cudele = Cudele(cluster)
+    spaces = [
+        cluster.run(
+            cudele.decouple(
+                f"/trace{i}",
+                SubtreePolicy(
+                    consistency="append_client_journal+volatile_apply",
+                    durability="none",
+                    allocated_inodes=0,
+                ),
+            )
+        )
+        for i in range(2)
+    ]
+
+    def job():
+        yield AllOf(
+            cluster.engine,
+            [
+                cluster.engine.process(ns.create_many(OPS))
+                for ns in spaces
+            ],
+        )
+
+    t0 = cluster.now
+    cluster.run(job())
+    for ns in spaces:
+        cluster.run(ns.finalize())
+    return 2 * OPS / (cluster.now - t0)
+
+
+def main() -> None:
+    print(f"2 clients x {OPS} ops over {DIRS} directories\n")
+    print(f"{'workload':<26} {'ops/s':>8} {'revocations':>12} "
+          f"{'2-RPC ops':>10}")
+    for label, zipf in (("uniform directories", 0.0),
+                        ("zipf-skewed (s=1.2)", 1.2)):
+        tput, revs, lookups = shared_namespace_run(zipf)
+        print(f"{label:<26} {tput:>8.0f} {revs:>12} "
+              f"{lookups / (2 * OPS):>9.0%}")
+
+    tput = decoupled_run(1.2)
+    print(f"{'decoupled subtrees':<26} {tput:>8.0f} {'—':>12} {'—':>10}")
+    print("\nonce a second writer touches a directory its capability is "
+          "gone for the whole run, so nearly every shared create pays "
+          "two RPCs; decoupled subtrees sidestep the contention "
+          f"(~{tput / 667:.0f}x here).")
+
+
+if __name__ == "__main__":
+    main()

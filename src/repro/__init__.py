@@ -1,0 +1,53 @@
+"""Reproduction of *Cudele: An API and Framework for Programmable
+Consistency and Durability in a Global Namespace* (IPDPS 2018).
+
+The public API in one import::
+
+    from repro import Cluster, Cudele, SubtreePolicy, Consistency, Durability
+
+    cluster = Cluster()
+    cudele = Cudele(cluster)
+    ns = cluster.run(cudele.decouple(
+        "/hpc/job1",
+        SubtreePolicy(consistency="append_client_journal+volatile_apply",
+                      durability="local_persist",
+                      allocated_inodes=100_000),
+    ))
+    cluster.run(ns.create_many(100_000))   # ~11K creates/s, local
+    cluster.run(ns.finalize())             # merge + persist
+
+Subpackages: :mod:`repro.sim` (DES kernel), :mod:`repro.rados` (object
+store), :mod:`repro.journal` (journal format/tool), :mod:`repro.mds`
+(metadata server), :mod:`repro.client`, :mod:`repro.mon` (monitor),
+:mod:`repro.core` (Cudele itself), :mod:`repro.workloads`,
+:mod:`repro.bench` (experiment harness).
+"""
+
+from repro.cluster import Cluster
+from repro.core import (
+    Consistency,
+    Cudele,
+    DecoupledNamespace,
+    Durability,
+    SubtreePolicy,
+    TABLE_I,
+    composition_for,
+    parse_composition,
+    parse_policies,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "Cudele",
+    "DecoupledNamespace",
+    "SubtreePolicy",
+    "Consistency",
+    "Durability",
+    "TABLE_I",
+    "composition_for",
+    "parse_composition",
+    "parse_policies",
+    "__version__",
+]

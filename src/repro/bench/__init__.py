@@ -1,0 +1,40 @@
+"""Benchmark harness: regenerates every table and figure in the paper.
+
+* :mod:`~repro.bench.scales` — experiment sizing presets (``tiny`` for
+  tests, ``small`` for quick benches, ``paper`` for full-scale runs).
+* :mod:`~repro.bench.harness` — result containers and seed aggregation.
+* :mod:`~repro.bench.experiments` — one runner per experiment:
+  ``fig2``, ``fig3a``, ``fig3b``, ``fig3c``, ``fig5``, ``fig6a``,
+  ``fig6b``, ``fig6c``, ``table1``.
+* :mod:`~repro.bench.report` — ASCII rendering of results.
+
+Run from the command line::
+
+    python -m repro.bench fig5
+    REPRO_SCALE=paper python -m repro.bench fig6a
+"""
+
+from repro.bench.harness import ExperimentResult, Series, aggregate
+from repro.bench.scales import PAPER, SMALL, TINY, Scale, get_scale
+from repro.bench import experiments
+from repro.bench.compare import ComparisonReport, compare_files, compare_results
+from repro.bench.report import dump_json, format_result, format_table, load_json
+
+__all__ = [
+    "ExperimentResult",
+    "Series",
+    "aggregate",
+    "Scale",
+    "TINY",
+    "SMALL",
+    "PAPER",
+    "get_scale",
+    "experiments",
+    "format_result",
+    "format_table",
+    "dump_json",
+    "load_json",
+    "ComparisonReport",
+    "compare_results",
+    "compare_files",
+]

@@ -1,0 +1,68 @@
+"""Command-line entry: ``python -m repro.bench [--json DIR] [experiment ...]``.
+
+Runs the named experiments (default: all) at the scale selected by
+``REPRO_SCALE`` (tiny | small | paper), prints paper-style tables, and
+with ``--json DIR`` also writes one JSON artifact per experiment.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.report import dump_json, format_result
+from repro.bench.scales import get_scale
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "compare":
+        return _compare(argv[1:])
+    json_dir = None
+    if "--json" in argv:
+        idx = argv.index("--json")
+        try:
+            json_dir = Path(argv[idx + 1])
+        except IndexError:
+            print("--json requires a directory argument", file=sys.stderr)
+            return 2
+        del argv[idx : idx + 2]
+        json_dir.mkdir(parents=True, exist_ok=True)
+    scale = get_scale()
+    names = argv or list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; "
+              f"available: {sorted(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    print(f"scale preset: {scale.name} "
+          f"(ops/client={scale.ops_per_client}, seeds={scale.seeds})\n")
+    for name in names:
+        start = time.time()
+        result = ALL_EXPERIMENTS[name](scale)
+        print(format_result(result))
+        if json_dir is not None:
+            artifact = dump_json(result, json_dir)
+            print(f"[wrote {artifact}]")
+        print(f"[{name} took {time.time() - start:.1f}s wall]\n")
+    return 0
+
+
+def _compare(args) -> int:
+    """``python -m repro.bench compare BASE.json CAND.json [TOLERANCE]``"""
+    from repro.bench.compare import compare_files
+
+    if len(args) not in (2, 3):
+        print("usage: python -m repro.bench compare BASE.json CAND.json "
+              "[tolerance]", file=sys.stderr)
+        return 2
+    tolerance = float(args[2]) if len(args) == 3 else 0.05
+    report = compare_files(args[0], args[1], tolerance)
+    print(report)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,110 @@
+"""Compare two experiment artifacts (regression detection).
+
+``python -m repro.bench`` writes JSON artifacts with ``--json``;
+this module diffs two artifacts of the same experiment and flags series
+points whose relative change exceeds a tolerance — the building block
+for tracking the reproduction across code changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Union
+
+from repro.bench.harness import ExperimentResult
+from repro.bench.report import load_json
+
+__all__ = ["Divergence", "ComparisonReport", "compare_results", "compare_files"]
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One data point that moved more than the tolerance."""
+
+    series: str
+    x: object
+    baseline: float
+    candidate: float
+
+    @property
+    def rel_change(self) -> float:
+        if self.baseline == 0:
+            return float("inf") if self.candidate else 0.0
+        return self.candidate / self.baseline - 1.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.series} @ {self.x}: {self.baseline:.4g} -> "
+            f"{self.candidate:.4g} ({self.rel_change:+.1%})"
+        )
+
+
+@dataclass
+class ComparisonReport:
+    """Outcome of diffing two runs of the same experiment."""
+
+    exp_id: str
+    tolerance: float
+    divergences: List[Divergence] = field(default_factory=list)
+    missing_series: List[str] = field(default_factory=list)
+    missing_points: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences and not self.missing_series
+
+    def __str__(self) -> str:
+        lines = [
+            f"compare {self.exp_id} (tolerance {self.tolerance:.0%}): "
+            + ("OK" if self.ok else "DIVERGED")
+        ]
+        lines.extend(f"  missing series: {m}" for m in self.missing_series)
+        if self.missing_points:
+            lines.append(f"  {self.missing_points} x-points not in both runs")
+        lines.extend(f"  {d}" for d in self.divergences)
+        return "\n".join(lines)
+
+
+def compare_results(
+    baseline: ExperimentResult,
+    candidate: ExperimentResult,
+    tolerance: float = 0.05,
+) -> ComparisonReport:
+    """Diff two results of the same experiment."""
+    if baseline.exp_id != candidate.exp_id:
+        raise ValueError(
+            f"different experiments: {baseline.exp_id} vs {candidate.exp_id}"
+        )
+    if tolerance < 0:
+        raise ValueError("tolerance must be >= 0")
+    report = ComparisonReport(baseline.exp_id, tolerance)
+    for base_series in baseline.series:
+        try:
+            cand_series = candidate.get(base_series.label)
+        except KeyError:
+            report.missing_series.append(base_series.label)
+            continue
+        cand_points = dict(zip(cand_series.x, cand_series.y))
+        for x, y in zip(base_series.x, base_series.y):
+            if x not in cand_points:
+                report.missing_points += 1
+                continue
+            cand_y = cand_points[x]
+            denom = abs(y) if y else 1.0
+            if abs(cand_y - y) / denom > tolerance:
+                report.divergences.append(
+                    Divergence(base_series.label, x, y, cand_y)
+                )
+    return report
+
+
+def compare_files(
+    baseline_path: Union[str, Path],
+    candidate_path: Union[str, Path],
+    tolerance: float = 0.05,
+) -> ComparisonReport:
+    """Diff two JSON artifacts on disk."""
+    return compare_results(
+        load_json(baseline_path), load_json(candidate_path), tolerance
+    )

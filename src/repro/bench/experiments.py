@@ -1,0 +1,531 @@
+"""Experiment runners: one function per paper table/figure.
+
+Every runner builds fresh clusters (one per seeded run), drives the
+relevant workload, and returns an :class:`~repro.bench.harness.
+ExperimentResult` whose series carry the same labels the paper's figure
+uses.  Normalizations follow the paper exactly; see EXPERIMENTS.md for
+the paper-vs-measured record.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro import calibration as cal
+from repro.bench.harness import ExperimentResult, Series, aggregate
+from repro.bench.scales import Scale, get_scale
+from repro.cluster import Cluster
+from repro.core.mechanisms import MechanismContext, run_mechanism
+from repro.core.namespace_api import Cudele
+from repro.core.policy import SubtreePolicy
+from repro.core.semantics import Consistency, Durability
+from repro.core.sync import synced_workload
+from repro.mds.server import MDSConfig
+from repro.workloads.compile_wl import run_compile
+from repro.workloads.createheavy import (
+    parallel_creates_decoupled,
+    parallel_creates_rpc,
+)
+from repro.workloads.interference import run_interference
+
+__all__ = [
+    "fig2", "fig3a", "fig3b", "fig3c", "fig5", "fig6a", "fig6b", "fig6c",
+    "table1", "ALL_EXPERIMENTS",
+]
+
+
+def _cluster(
+    seed: int,
+    journal: bool = True,
+    dispatch: int = 40,
+    materialize: bool = False,
+) -> Cluster:
+    return Cluster(
+        mds_config=MDSConfig(
+            journal_enabled=journal,
+            dispatch_size=dispatch,
+            materialize=materialize,
+        ),
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: compile-phase resource utilization
+# ---------------------------------------------------------------------------
+
+
+def fig2(scale: Optional[Scale] = None) -> ExperimentResult:
+    """MDS CPU/network/disk utilization per compile phase.
+
+    The claim reproduced: the create-heavy *untar* phase has the highest
+    combined resource usage on the metadata server.
+    """
+    scale = scale or get_scale()
+    cpu_rows, net_rows, disk_rows = [], [], []
+    phase_names = ["untar", "configure", "make"]
+    for seed in range(scale.seeds):
+        cluster = _cluster(seed)
+        res = cluster.run(
+            run_compile(cluster, scale=scale.compile_files, batch=scale.batch)
+        )
+        cpu_rows.append([res.phase(p).mds_cpu_util for p in phase_names])
+        net_rows.append(
+            [res.phase(p).net_bytes / max(res.phase(p).duration_s, 1e-9) / 1e6
+             for p in phase_names]
+        )
+        disk_rows.append([res.phase(p).disk_util for p in phase_names])
+    cpu_m, cpu_s = aggregate(cpu_rows)
+    net_m, net_s = aggregate(net_rows)
+    disk_m, disk_s = aggregate(disk_rows)
+    return ExperimentResult(
+        exp_id="fig2",
+        title="MDS resource utilization during a compile (untar/configure/make)",
+        x_label="phase",
+        y_label="utilization (fraction) / network (MB/s)",
+        series=[
+            Series("mds cpu", phase_names, cpu_m, cpu_s),
+            Series("network MB/s", phase_names, net_m, net_s),
+            Series("objstore disk", phase_names, disk_m, disk_s),
+        ],
+        notes=[
+            "paper: the untar (create-heavy) phase dominates MDS "
+            "disk/network/CPU usage",
+        ],
+        meta={"scale": scale.name},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 3a: journal dispatch-size slowdown vs clients
+# ---------------------------------------------------------------------------
+
+
+def fig3a(scale: Optional[Scale] = None) -> ExperimentResult:
+    """Slowdown of the slowest client vs #clients for journal configs.
+
+    Normalized to 1 client with journaling off (paper: ~654 creates/s).
+    """
+    scale = scale or get_scale()
+    configs: List[tuple] = [
+        ("no journal", False, 40),
+        ("segments=1", True, 1),
+        ("segments=10", True, 10),
+        ("segments=30", True, 30),
+        ("segments=40", True, 40),
+    ]
+    series = []
+    for label, journal, dispatch in configs:
+        per_seed = []
+        for seed in range(scale.seeds):
+            base_cluster = _cluster(seed, journal=False)
+            base = base_cluster.run(
+                parallel_creates_rpc(
+                    base_cluster, 1, scale.ops_per_client, batch=scale.batch
+                )
+            ).slowest_client_time
+            row = []
+            for n in scale.clients:
+                cluster = _cluster(seed, journal=journal, dispatch=dispatch)
+                res = cluster.run(
+                    parallel_creates_rpc(
+                        cluster, n, scale.ops_per_client, batch=scale.batch
+                    )
+                )
+                row.append(res.slowest_client_time / base)
+            per_seed.append(row)
+        mean, std = aggregate(per_seed)
+        series.append(Series(label, list(scale.clients), mean, std))
+    return ExperimentResult(
+        exp_id="fig3a",
+        title="Effect of journaling: dispatch-size slowdown scaling clients",
+        x_label="clients",
+        y_label="slowdown vs 1 client, journal off",
+        series=series,
+        notes=[
+            "paper: mid dispatch sizes (10-30) degrade most under load; "
+            "dispatch 1 tracks 'no journal'; 40 sits between",
+        ],
+        meta={"scale": scale.name},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 3b: interference slowdown vs clients
+# ---------------------------------------------------------------------------
+
+
+def _interference_sweep(
+    scale: Scale, modes: List[str]
+) -> Dict[str, tuple]:
+    out: Dict[str, tuple] = {}
+    for mode in modes:
+        per_seed = []
+        for seed in range(scale.seeds):
+            base_cluster = _cluster(seed)
+            base = base_cluster.run(
+                run_interference(
+                    base_cluster, 1, scale.ops_per_client, mode="none",
+                    batch=scale.batch,
+                )
+            ).slowest_client_time
+            row = []
+            for n in scale.clients:
+                cluster = _cluster(seed + 1000 * n)
+                res = cluster.run(
+                    run_interference(
+                        cluster, n, scale.ops_per_client, mode=mode,
+                        interfere_ops=scale.interfere_ops, batch=scale.batch,
+                    )
+                )
+                row.append(res.slowest_client_time / base)
+            per_seed.append(row)
+        out[mode] = aggregate(per_seed)
+    return out
+
+
+def fig3b(scale: Optional[Scale] = None) -> ExperimentResult:
+    """Slowdown (and variability) with an interfering client.
+
+    Normalized to 1 client creating in isolation with the journal on
+    (paper: ~513 creates/s).
+    """
+    scale = scale or get_scale()
+    sweeps = _interference_sweep(scale, ["none", "allow"])
+    series = [
+        Series("no interference", list(scale.clients), *sweeps["none"]),
+        Series("interference", list(scale.clients), *sweeps["allow"]),
+    ]
+    return ExperimentResult(
+        exp_id="fig3b",
+        title="Interference hurts throughput and variability",
+        x_label="clients",
+        y_label="slowdown of slowest client vs 1 isolated client",
+        series=series,
+        notes=[
+            "paper: interference raises both the slowdown and the "
+            "run-to-run standard deviation",
+        ],
+        meta={"scale": scale.name},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 3c: cap revocation makes lookups go remote
+# ---------------------------------------------------------------------------
+
+
+def fig3c(scale: Optional[Scale] = None) -> ExperimentResult:
+    """Client behaviour around the interference point: creates/s on y1,
+    remote lookups/s on y2 (cumulative lookups differenced)."""
+    scale = scale or get_scale()
+    ops = max(scale.ops_per_client, 5_000)
+    batch = min(scale.batch, 50)
+    expected = ops / 520.0
+    sample = expected / 25.0
+
+    def diff_rate(samples):
+        values = [v for _, v in samples]
+        return [0.0] + [
+            (values[i] - values[i - 1]) / sample for i in range(1, len(values))
+        ]
+
+    def run(mode: str):
+        cluster = _cluster(0)
+        res = cluster.run(
+            run_interference(
+                cluster, 1, ops, mode=mode,
+                interfere_ops=max(scale.interfere_ops, ops // 10),
+                batch=batch, sample_interval_s=sample,
+            )
+        )
+        times = [t for t, _ in res.create_samples]
+        return times, diff_rate(res.create_samples), diff_rate(res.lookup_samples)
+
+    t_i, ops_i, lk_i = run("allow")
+    t_n, ops_n, lk_n = run("none")
+    m = min(len(t_i), len(t_n))
+    return ExperimentResult(
+        exp_id="fig3c",
+        title="Interference revokes caps: lookups go remote",
+        x_label="time (s)",
+        y_label="ops/s (creates on y1, lookups on y2)",
+        series=[
+            Series("creates/s (interference)", t_i[:m], ops_i[:m]),
+            Series("lookups/s (interference)", t_i[:m], lk_i[:m]),
+            Series("creates/s (no interference)", t_i[:m], ops_n[:m]),
+            Series("lookups/s (no interference)", t_i[:m], lk_n[:m]),
+        ],
+        notes=[
+            "paper: after the interferer arrives, the client sends a "
+            "lookup per create; MDS throughput (y1) rises while client "
+            "goodput falls",
+        ],
+        meta={"scale": scale.name, "sample_interval_s": sample},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: per-mechanism overhead of 100K creates
+# ---------------------------------------------------------------------------
+
+
+def fig5(scale: Optional[Scale] = None) -> ExperimentResult:
+    """Overhead of each mechanism (and real-system compositions),
+    normalized to Append Client Journal."""
+    scale = scale or get_scale()
+    ops = scale.fig5_ops
+    labels = [
+        "append_client_journal", "rpcs", "volatile_apply",
+        "nonvolatile_apply", "stream", "local_persist", "global_persist",
+        "POSIX", "BatchFS", "DeltaFS", "RAMDisk",
+    ]
+    per_seed: List[List[float]] = []
+    for seed in range(scale.seeds):
+        times: Dict[str, float] = {}
+
+        # Append Client Journal (the baseline).
+        cluster = _cluster(seed)
+        d = cluster.new_decoupled_client()
+        t0 = cluster.now
+        cluster.run(d.create_many("/sub", ops))
+        times["append_client_journal"] = cluster.now - t0
+
+        # RPCs in isolation (journal off).
+        cluster = _cluster(seed, journal=False)
+        c = cluster.new_client()
+        t0 = cluster.now
+        cluster.run(c.create_many("/sub", ops, batch=scale.batch))
+        times["rpcs"] = cluster.now - t0
+
+        # Stream: the paper's approximation, journal-on minus journal-off.
+        cluster = _cluster(seed, journal=True)
+        c = cluster.new_client()
+        t0 = cluster.now
+        cluster.run(c.create_many("/sub", ops, batch=scale.batch))
+        times["stream"] = (cluster.now - t0) - times["rpcs"]
+
+        # Completion mechanisms run over a prepared client journal.
+        for mech in ("volatile_apply", "nonvolatile_apply",
+                     "local_persist", "global_persist"):
+            cluster = _cluster(seed)
+            d = cluster.new_decoupled_client()
+            cluster.run(d.create_many("/sub", ops))
+            ctx = MechanismContext(cluster, "/sub", d)
+            t0 = cluster.now
+            cluster.run(run_mechanism(mech, ctx))
+            times[mech] = cluster.now - t0
+
+        # Real-world compositions (Figure 5, right panel).
+        times["POSIX"] = times["rpcs"] + times["stream"]
+        times["BatchFS"] = (
+            times["append_client_journal"] + times["local_persist"]
+            + times["volatile_apply"]
+        )
+        times["DeltaFS"] = times["append_client_journal"] + times["local_persist"]
+        times["RAMDisk"] = times["append_client_journal"] + times["volatile_apply"]
+
+        base = times["append_client_journal"]
+        per_seed.append([times[label] / base for label in labels])
+    mean, std = aggregate(per_seed)
+    return ExperimentResult(
+        exp_id="fig5",
+        title="Overhead of processing create events per mechanism",
+        x_label="mechanism / system",
+        y_label="overhead (x append client journal)",
+        series=[Series("overhead", labels, mean, std)],
+        notes=[
+            "paper anchors: rpcs ~17.9x, rpcs ~19.9x volatile_apply, "
+            "nonvolatile_apply ~78x, stream ~2.4x, global ~0.2x over local",
+        ],
+        meta={"scale": scale.name, "ops": ops},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 6a: parallel creates under three subtree semantics
+# ---------------------------------------------------------------------------
+
+
+def fig6a(scale: Optional[Scale] = None) -> ExperimentResult:
+    """Total-job speedup over 1-client RPCs for the three subtrees."""
+    scale = scale or get_scale()
+
+    def rpc_run(seed: int, n: int) -> float:
+        cluster = _cluster(seed)
+        res = cluster.run(
+            parallel_creates_rpc(cluster, n, scale.ops_per_client,
+                                 batch=scale.batch)
+        )
+        return res.job_throughput
+
+    def dec_run(seed: int, n: int, merge: bool) -> float:
+        cluster = _cluster(seed)
+        res = cluster.run(
+            parallel_creates_decoupled(
+                cluster, n, scale.ops_per_client,
+                persist_each=True, merge=merge,
+            )
+        )
+        return res.job_throughput
+
+    configs: List[tuple] = [
+        ("rpcs", lambda seed, n: rpc_run(seed, n)),
+        ("decoupled: create", lambda seed, n: dec_run(seed, n, False)),
+        ("decoupled: create+merge", lambda seed, n: dec_run(seed, n, True)),
+    ]
+    series = []
+    for label, runner in configs:
+        per_seed = []
+        for seed in range(scale.seeds):
+            base = rpc_run(seed, 1)
+            per_seed.append(
+                [runner(seed, n) / base for n in scale.clients]
+            )
+        mean, std = aggregate(per_seed)
+        series.append(Series(label, list(scale.clients), mean, std))
+    return ExperimentResult(
+        exp_id="fig6a",
+        title="Parallel creates: decoupled namespaces scale past RPCs",
+        x_label="clients",
+        y_label="job-throughput speedup vs 1-client RPCs",
+        series=series,
+        notes=[
+            "paper: at 20 clients RPCs flattens ~4.5x, create+merge ~15x "
+            "(3.37x over RPCs), decoupled create ~91.7x and linear",
+        ],
+        meta={"scale": scale.name},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 6b: blocking interfering clients
+# ---------------------------------------------------------------------------
+
+
+def fig6b(scale: Optional[Scale] = None) -> ExperimentResult:
+    """Interference isolation via the allow/block API."""
+    scale = scale or get_scale()
+    sweeps = _interference_sweep(scale, ["none", "allow", "block"])
+    label_map = {
+        "none": "no interference",
+        "allow": "interference",
+        "block": "block interference",
+    }
+    series = [
+        Series(label_map[m], list(scale.clients), *sweeps[m])
+        for m in ("none", "allow", "block")
+    ]
+    result = ExperimentResult(
+        exp_id="fig6b",
+        title="Blocking interference isolates performance",
+        x_label="clients",
+        y_label="slowdown of slowest client vs 1 isolated client",
+        series=series,
+        notes=[
+            "paper: block tracks no-interference at scale (slowdown/client "
+            "1.34x vs 1.42x; sigma 0.09 vs 0.06) while allow degrades "
+            "(1.67x, sigma 0.44)",
+        ],
+        meta={"scale": scale.name},
+    )
+    # Summary metrics in the spirit of the paper's "slowdown per
+    # client" / sigma quotes (exact definitions differ; see
+    # EXPERIMENTS.md): the mean slowdown across the sweep and the mean
+    # run-to-run standard deviation.
+    for s in result.series:
+        result.meta[f"mean_slowdown[{s.label}]"] = sum(s.y) / len(s.y)
+        result.meta[f"sigma[{s.label}]"] = sum(s.yerr) / len(s.yerr)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 6c: namespace-sync interval sweep
+# ---------------------------------------------------------------------------
+
+
+def fig6c(scale: Optional[Scale] = None) -> ExperimentResult:
+    """Overhead of syncing partial updates at different intervals."""
+    scale = scale or get_scale()
+    per_seed = []
+    largest = {}
+    for seed in range(scale.seeds):
+        row = []
+        for interval in scale.sync_intervals:
+            cluster = _cluster(seed)
+            d = cluster.new_decoupled_client()
+            stats = cluster.run(
+                synced_workload(cluster, d, "/sub", scale.sync_updates, interval)
+            )
+            row.append(stats.overhead * 100.0)
+            largest[interval] = stats.largest_batch
+        per_seed.append(row)
+    mean, std = aggregate(per_seed)
+    return ExperimentResult(
+        exp_id="fig6c",
+        title="Namespace sync: overhead vs sync interval",
+        x_label="sync interval (s)",
+        y_label="overhead (%) vs never syncing",
+        series=[Series("overhead %", list(scale.sync_intervals), mean, std)],
+        notes=[
+            "paper: ~9% at 1 s, ~2% minimum at 10 s, rising toward 25 s "
+            "(each 25 s sync writes ~278K updates, ~678 MB)",
+        ],
+        meta={"scale": scale.name, "largest_batch": largest},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table I: end-to-end cost of each semantics cell
+# ---------------------------------------------------------------------------
+
+
+def table1(scale: Optional[Scale] = None) -> ExperimentResult:
+    """Workload+completion time for all nine Table I cells, normalized
+    to the weakest cell (invisible/none)."""
+    scale = scale or get_scale()
+    ops = scale.fig5_ops
+    cells = [
+        (c, d) for d in Durability for c in Consistency
+    ]
+    labels = [f"{c.value}/{d.value}" for c, d in cells]
+    per_seed = []
+    for seed in range(scale.seeds):
+        row = []
+        for c, d in cells:
+            policy = SubtreePolicy.from_semantics(c, d, allocated_inodes=0)
+            journal = "stream" in policy.plan.mechanisms
+            cluster = _cluster(seed, journal=journal)
+            cudele = Cudele(cluster)
+            ns = cluster.run(cudele.decouple("/cell", policy))
+            t0 = cluster.now
+            cluster.run(ns.create_many(ops))
+            cluster.run(ns.finalize())
+            row.append(cluster.now - t0)
+        base = row[labels.index("invisible/none")]
+        per_seed.append([t / base for t in row])
+    mean, std = aggregate(per_seed)
+    return ExperimentResult(
+        exp_id="table1",
+        title="Table I: cost of each consistency/durability cell",
+        x_label="consistency/durability",
+        y_label="time normalized to invisible/none",
+        series=[Series("relative cost", labels, mean, std)],
+        notes=[
+            "stronger guarantees cost monotonically more along each axis",
+        ],
+        meta={"scale": scale.name, "ops": ops},
+    )
+
+
+ALL_EXPERIMENTS: Dict[str, Callable[[Optional[Scale]], ExperimentResult]] = {
+    "fig2": fig2,
+    "fig3a": fig3a,
+    "fig3b": fig3b,
+    "fig3c": fig3c,
+    "fig5": fig5,
+    "fig6a": fig6a,
+    "fig6b": fig6b,
+    "fig6c": fig6c,
+    "table1": table1,
+}

@@ -1,0 +1,78 @@
+"""Result containers and seed aggregation for the experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Series", "ExperimentResult", "aggregate", "run_seeds"]
+
+
+@dataclass
+class Series:
+    """One labeled curve: x values, y means, y standard deviations."""
+
+    label: str
+    x: List[Any]
+    y: List[float]
+    yerr: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError("x and y must have equal length")
+        if self.yerr and len(self.yerr) != len(self.y):
+            raise ValueError("yerr must match y length")
+        if not self.yerr:
+            self.yerr = [0.0] * len(self.y)
+
+    def at(self, x_value: Any) -> float:
+        return self.y[self.x.index(x_value)]
+
+    def err_at(self, x_value: Any) -> float:
+        return self.yerr[self.x.index(x_value)]
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table/figure: several series plus provenance notes."""
+
+    exp_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: List[Series] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def get(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(
+            f"no series {label!r} in {self.exp_id}; "
+            f"have {[s.label for s in self.series]}"
+        )
+
+    @property
+    def labels(self) -> List[str]:
+        return [s.label for s in self.series]
+
+
+def aggregate(per_seed: Sequence[Sequence[float]]) -> Tuple[List[float], List[float]]:
+    """Mean and population standard deviation across seeds.
+
+    ``per_seed[s][i]`` is seed ``s``'s measurement at x-index ``i``.
+    """
+    arr = np.asarray(per_seed, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError("per_seed must be a 2-D [seed][x] array")
+    return list(arr.mean(axis=0)), list(arr.std(axis=0))
+
+
+def run_seeds(fn: Callable[[int], List[float]], seeds: int) -> Tuple[List[float], List[float]]:
+    """Run ``fn(seed)`` for each seed and aggregate the results."""
+    if seeds < 1:
+        raise ValueError("need at least one seed")
+    return aggregate([fn(seed) for seed in range(seeds)])

@@ -1,0 +1,102 @@
+"""ASCII rendering and JSON export of experiment results.
+
+The paper adheres to the Popper convention (every figure links to a
+re-runnable source); :func:`dump_json` is this harness's equivalent —
+a machine-readable artifact per experiment run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, List, Sequence, Union
+
+from repro.bench.harness import ExperimentResult
+
+__all__ = ["format_table", "format_result", "dump_json", "load_json"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Simple fixed-width table."""
+    cells = [[_fmt(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_result(result: ExperimentResult) -> str:
+    """Render an ExperimentResult as a labeled table plus notes."""
+    out = [f"== {result.exp_id}: {result.title} =="]
+    headers: List[Any] = [result.x_label]
+    for s in result.series:
+        headers.extend([s.label, "±"])
+    rows = []
+    xs = result.series[0].x if result.series else []
+    for i, x in enumerate(xs):
+        row: List[Any] = [x]
+        for s in result.series:
+            row.extend([s.y[i], s.yerr[i]])
+        rows.append(row)
+    out.append(format_table(headers, rows))
+    out.append(f"(y = {result.y_label})")
+    for note in result.notes:
+        out.append(f"note: {note}")
+    return "\n".join(out)
+
+
+def dump_json(result: ExperimentResult, path: Union[str, Path]) -> Path:
+    """Write an experiment result as a JSON artifact; returns the path."""
+    path = Path(path)
+    if path.is_dir():
+        path = path / f"{result.exp_id}.json"
+    payload = {
+        "exp_id": result.exp_id,
+        "title": result.title,
+        "x_label": result.x_label,
+        "y_label": result.y_label,
+        "notes": result.notes,
+        "meta": {k: v for k, v in result.meta.items()
+                 if isinstance(v, (str, int, float, bool, list, dict))},
+        "series": [
+            {"label": s.label, "x": list(s.x), "y": list(s.y),
+             "yerr": list(s.yerr)}
+            for s in result.series
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2, default=str))
+    return path
+
+
+def load_json(path: Union[str, Path]) -> ExperimentResult:
+    """Inverse of :func:`dump_json`."""
+    from repro.bench.harness import Series
+
+    payload = json.loads(Path(path).read_text())
+    return ExperimentResult(
+        exp_id=payload["exp_id"],
+        title=payload["title"],
+        x_label=payload["x_label"],
+        y_label=payload["y_label"],
+        series=[
+            Series(s["label"], s["x"], s["y"], s["yerr"])
+            for s in payload["series"]
+        ],
+        notes=payload.get("notes", []),
+        meta=payload.get("meta", {}),
+    )

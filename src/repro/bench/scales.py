@@ -1,0 +1,93 @@
+"""Experiment sizing presets.
+
+The paper's evaluation uses 100K operations per client and up to 20
+clients.  All results are normalized, so smaller runs reproduce the
+same shapes; presets trade simulator host time for statistical weight.
+
+Select via ``REPRO_SCALE`` (``tiny`` | ``small`` | ``paper``) or pass a
+:class:`Scale` explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["Scale", "TINY", "SMALL", "PAPER", "get_scale"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Sizing knobs for the experiment runners."""
+
+    name: str
+    #: Creates per client in the scaling experiments (paper: 100_000).
+    ops_per_client: int
+    #: Client counts swept (paper: 1..20).
+    clients: List[int]
+    #: Files the interferer creates per directory (paper: 1000).
+    interfere_ops: int
+    #: Updates in the namespace-sync run (paper: 1_000_000).
+    sync_updates: int
+    #: Sync intervals swept, seconds (paper: 1..25).
+    sync_intervals: List[float]
+    #: Independent seeded repetitions (paper: 3 runs).
+    seeds: int
+    #: Events for the Figure 5 microbenchmarks (paper: 100_000).
+    fig5_ops: int
+    #: Source files for the compile workload.
+    compile_files: int
+    #: Client->MDS request batching (simulator-host optimization only).
+    batch: int = 100
+
+
+TINY = Scale(
+    name="tiny",
+    ops_per_client=600,
+    clients=[1, 4, 8],
+    interfere_ops=30,
+    sync_updates=1_000_000,
+    sync_intervals=[1.0, 10.0, 25.0],
+    seeds=2,
+    fig5_ops=2_000,
+    compile_files=600,
+)
+
+SMALL = Scale(
+    name="small",
+    ops_per_client=6_000,
+    clients=[1, 2, 4, 8, 12, 16, 20],
+    interfere_ops=120,
+    sync_updates=1_000_000,
+    sync_intervals=[1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 25.0],
+    seeds=3,
+    fig5_ops=20_000,
+    compile_files=3_000,
+)
+
+PAPER = Scale(
+    name="paper",
+    ops_per_client=100_000,
+    clients=[1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20],
+    interfere_ops=1_000,
+    sync_updates=1_000_000,
+    sync_intervals=[1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 25.0],
+    seeds=3,
+    fig5_ops=100_000,
+    compile_files=30_000,
+)
+
+_SCALES = {s.name: s for s in (TINY, SMALL, PAPER)}
+
+
+def get_scale(name: Optional[str] = None) -> Scale:
+    """Resolve a preset by name or the ``REPRO_SCALE`` env var."""
+    if name is None:
+        name = os.environ.get("REPRO_SCALE", "small")
+    try:
+        return _SCALES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scale {name!r}; choose from {sorted(_SCALES)}"
+        ) from None

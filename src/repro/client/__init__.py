@@ -1,0 +1,23 @@
+"""File-system clients.
+
+* :class:`~repro.client.client.Client` — the POSIX-path client: every
+  metadata operation is a synchronous RPC to the metadata server (the
+  paper's strong-consistency baseline).  Batch helpers amortize
+  simulator events, not simulated cost.
+* :class:`~repro.client.decoupled.DecoupledClient` — the
+  decoupled-namespace client: operations append to a local in-memory
+  journal (Append Client Journal) at ~11K creates/s, optionally
+  persisting each record locally; merging back is Cudele's job
+  (:mod:`repro.core`).
+* :class:`~repro.client.cache.ClientCache` — client-side capability
+  mirror (whether creates can skip the existence ``lookup``).
+* :class:`~repro.client.fs.PosixFileSystem` — a small convenience
+  facade used by the examples.
+"""
+
+from repro.client.cache import ClientCache
+from repro.client.client import Client
+from repro.client.decoupled import DecoupledClient
+from repro.client.fs import PosixFileSystem
+
+__all__ = ["Client", "DecoupledClient", "ClientCache", "PosixFileSystem"]

@@ -1,0 +1,213 @@
+"""The RPC (strong consistency) client.
+
+Every metadata operation is a synchronous round trip: client CPU +
+wire + MDS service.  ``create_many`` batches *simulator events* — the
+simulated per-op cost is identical to op-at-a-time submission (the
+per-op client overhead constant folds in propagation), which keeps
+20-client x 100K-create runs tractable on the host.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Sequence, Union
+
+from repro import calibration as cal
+from repro.client.cache import ClientCache
+from repro.mds.server import MetadataServer, Request, Response
+from repro.sim.engine import Engine, Event, Timeout
+from repro.sim.network import Network
+from repro.sim.stats import StatsRegistry
+
+__all__ = ["Client", "WriteHandle"]
+
+
+class WriteHandle:
+    """A file open for writing with a buffered (client-side) size.
+
+    Data writes buffer under the write-buffering capability — they cost
+    nothing at the MDS until the size is flushed by a close or a cap
+    recall (paper §II-B).
+    """
+
+    __slots__ = ("path", "size", "closed")
+
+    def __init__(self, path: str):
+        self.path = path
+        self.size = 0
+        self.closed = False
+
+    def write(self, nbytes: int) -> None:
+        if self.closed:
+            raise ValueError(f"{self.path} is closed")
+        if nbytes < 0:
+            raise ValueError("cannot write a negative byte count")
+        self.size += nbytes
+
+
+class Client:
+    """A synchronous POSIX-IO metadata client."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        client_id: int,
+        mds: MetadataServer,
+        network: Network,
+        router=None,
+    ):
+        self.engine = engine
+        self.client_id = client_id
+        self.mds = mds
+        self.network = network
+        self.name = f"client{client_id}"
+        self.cache = ClientCache(client_id)
+        self.stats = StatsRegistry(engine, self.name)
+        #: Optional per-path MDS routing (multi-MDS subtree partitioning);
+        #: ``router(path) -> MetadataServer``.  None pins to ``mds``.
+        self.router = router
+        # Per-op propagation latency is folded into CLIENT_OP_OVERHEAD_S
+        # (see calibration) so that the simulated per-op cost is the same
+        # at every request batch size; the RPC links therefore carry only
+        # serialization cost.
+        self._zero_latency_links(self.mds)
+
+    def _zero_latency_links(self, mds: MetadataServer) -> None:
+        self.network.link(self.name, mds.name).latency_s = 0.0
+        self.network.link(mds.name, self.name).latency_s = 0.0
+
+    def _target(self, path: str) -> MetadataServer:
+        if self.router is None:
+            return self.mds
+        mds = self.router(path)
+        self._zero_latency_links(mds)
+        return mds
+
+    # -- plumbing -----------------------------------------------------------
+    def _call(
+        self, request: Request, op_count: int = 1
+    ) -> Generator[Event, None, Response]:
+        """One RPC exchange covering ``op_count`` synchronous operations."""
+        mds = self._target(request.path)
+        yield Timeout(self.engine, op_count * cal.CLIENT_OP_OVERHEAD_S)
+        yield from self.network.send(self.name, mds.name, cal.RPC_MESSAGE_BYTES)
+        response = yield mds.submit(request)
+        yield from self.network.send(mds.name, self.name, cal.RPC_MESSAGE_BYTES)
+        self.stats.counter("rpcs_sent").incr(op_count * max(1, response.rpcs))
+        if response.rpcs > 1:
+            # The MDS made us look up remotely before each create; pay the
+            # client-side cost of those extra round trips.
+            extra = op_count * (response.rpcs - 1)
+            yield Timeout(self.engine, extra * cal.CLIENT_OP_OVERHEAD_S)
+            self.cache.note_lookup(local=False)
+        else:
+            self.cache.note_lookup(local=True)
+        return response
+
+    # -- operations ------------------------------------------------------------
+    def mkdir(self, path: str) -> Generator[Event, None, Response]:
+        name = path.rstrip("/").rsplit("/", 1)[-1]
+        parent = path.rstrip("/")[: -len(name) - 1] or "/"
+        resp = yield from self._call(
+            Request("mkdir", parent, self.client_id, names=[name])
+        )
+        return resp
+
+    def create(self, path: str) -> Generator[Event, None, Response]:
+        name = path.rstrip("/").rsplit("/", 1)[-1]
+        parent = path.rstrip("/")[: -len(name) - 1] or "/"
+        resp = yield from self.create_many(parent, [name])
+        return resp
+
+    def create_many(
+        self,
+        dir_path: str,
+        names_or_count: Union[int, Sequence[str]],
+        batch: int = 100,
+    ) -> Generator[Event, None, Response]:
+        """Create many files in ``dir_path``; returns the last response.
+
+        ``names_or_count`` may be explicit names (materialized runs) or a
+        plain count (large performance runs).
+        """
+        last: Optional[Response] = None
+        if isinstance(names_or_count, int):
+            remaining = names_or_count
+            while remaining > 0:
+                take = min(batch, remaining)
+                remaining -= take
+                last = yield from self._call(
+                    Request("create", dir_path, self.client_id, count=take),
+                    op_count=take,
+                )
+                self.cache.note_reply(dir_path, last.cached, last.revoked)
+        else:
+            names = list(names_or_count)
+            for i in range(0, len(names), batch):
+                chunk = names[i : i + batch]
+                last = yield from self._call(
+                    Request("create", dir_path, self.client_id, names=chunk),
+                    op_count=len(chunk),
+                )
+                self.cache.note_reply(dir_path, last.cached, last.revoked)
+        assert last is not None, "create_many needs at least one op"
+        return last
+
+    def rmdir(self, path: str) -> Generator[Event, None, Response]:
+        name = path.rstrip("/").rsplit("/", 1)[-1]
+        parent = path.rstrip("/")[: -len(name) - 1] or "/"
+        resp = yield from self._call(
+            Request("rmdir", parent, self.client_id, names=[name])
+        )
+        return resp
+
+    def unlink(self, path: str) -> Generator[Event, None, Response]:
+        name = path.rstrip("/").rsplit("/", 1)[-1]
+        parent = path.rstrip("/")[: -len(name) - 1] or "/"
+        resp = yield from self._call(
+            Request("unlink", parent, self.client_id, names=[name])
+        )
+        return resp
+
+    def rename(self, src: str, dst: str) -> Generator[Event, None, Response]:
+        resp = yield from self._call(
+            Request("rename", src, self.client_id, payload=dst)
+        )
+        return resp
+
+    def setattr(self, path: str, **attrs) -> Generator[Event, None, Response]:
+        resp = yield from self._call(
+            Request("setattr", path, self.client_id, payload=attrs)
+        )
+        return resp
+
+    def open_write(self, path: str) -> Generator[Event, None, WriteHandle]:
+        """Open a file for writing (acquires the write-buffering cap)."""
+        handle = WriteHandle(path)
+        resp = yield from self._call(
+            Request("open_write", path, self.client_id,
+                    payload=lambda: handle.size)
+        )
+        if not resp.ok:
+            raise OSError(resp.error)
+        return handle
+
+    def close_write(self, handle: WriteHandle) -> Generator[Event, None, Response]:
+        """Close the handle, flushing the buffered size to the MDS."""
+        resp = yield from self._call(
+            Request("close_write", handle.path, self.client_id,
+                    payload=handle.size)
+        )
+        handle.closed = True
+        return resp
+
+    def stat(self, path: str) -> Generator[Event, None, Response]:
+        resp = yield from self._call(Request("stat", path, self.client_id))
+        return resp
+
+    def lookup(self, path: str) -> Generator[Event, None, Response]:
+        resp = yield from self._call(Request("lookup", path, self.client_id))
+        return resp
+
+    def ls(self, path: str) -> Generator[Event, None, Response]:
+        resp = yield from self._call(Request("ls", path, self.client_id))
+        return resp

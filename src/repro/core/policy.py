@@ -1,0 +1,200 @@
+"""Subtree policies and the Table I semantics matrix.
+
+A :class:`SubtreePolicy` is what the policies file (and the monitor's
+policy map) carries for one subtree: a consistency composition, a
+durability composition, the Allocated Inodes contract and the interfere
+policy.  :data:`TABLE_I` reproduces the paper's Table I exactly: the
+canonical mechanism composition for every (consistency, durability)
+cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.dsl import parse_composition
+from repro.core.semantics import Consistency, Durability
+
+__all__ = [
+    "SubtreePolicy",
+    "TABLE_I",
+    "SYSTEM_POLICIES",
+    "composition_for",
+    "composition_warnings",
+    "DEFAULT_ALLOCATED_INODES",
+]
+
+#: Policies-file default (paper §III-C): 100 inodes.
+DEFAULT_ALLOCATED_INODES = 100
+
+#: Table I, verbatim: (consistency, durability) -> composition.
+TABLE_I: Dict[Tuple[Consistency, Durability], str] = {
+    (Consistency.INVISIBLE, Durability.NONE): "append_client_journal",
+    (Consistency.WEAK, Durability.NONE): "append_client_journal+volatile_apply",
+    (Consistency.STRONG, Durability.NONE): "rpcs",
+    (Consistency.INVISIBLE, Durability.LOCAL): "append_client_journal+local_persist",
+    (Consistency.WEAK, Durability.LOCAL): (
+        "append_client_journal+local_persist+volatile_apply"
+    ),
+    (Consistency.STRONG, Durability.LOCAL): "rpcs+local_persist",
+    (Consistency.INVISIBLE, Durability.GLOBAL): (
+        "append_client_journal+global_persist"
+    ),
+    (Consistency.WEAK, Durability.GLOBAL): (
+        "append_client_journal+global_persist+volatile_apply"
+    ),
+    (Consistency.STRONG, Durability.GLOBAL): "rpcs+stream",
+}
+
+#: The semantics of existing systems, as the paper labels them (§III-B,
+#: Figure 5 right panel).
+SYSTEM_POLICIES: Dict[str, Tuple[Consistency, Durability]] = {
+    "POSIX": (Consistency.STRONG, Durability.GLOBAL),
+    "CephFS": (Consistency.STRONG, Durability.GLOBAL),
+    "IndexFS": (Consistency.STRONG, Durability.GLOBAL),
+    "BatchFS": (Consistency.WEAK, Durability.LOCAL),
+    "DeltaFS": (Consistency.INVISIBLE, Durability.LOCAL),
+    "RAMDisk": (Consistency.WEAK, Durability.NONE),
+}
+
+
+def composition_for(
+    consistency: Consistency | str, durability: Durability | str
+) -> str:
+    """Table I lookup (accepts enum members or their string names)."""
+    if isinstance(consistency, str):
+        consistency = Consistency.parse(consistency)
+    if isinstance(durability, str):
+        durability = Durability.parse(durability)
+    return TABLE_I[(consistency, durability)]
+
+
+def composition_warnings(text: str) -> List[str]:
+    """Flag compositions the paper calls out as making 'little sense'.
+
+    "it makes little sense to do append client journal+RPCs since both
+    mechanisms do the same thing or stream+local persist since 'global'
+    durability is stronger and has more overhead than 'local'" (§III-B).
+    All permutations remain *legal* — these are advisory.
+    """
+    plan = parse_composition(text)
+    mechs = set(plan.mechanisms)
+    warnings = []
+    if {"append_client_journal", "rpcs"} <= mechs:
+        warnings.append(
+            "append_client_journal+rpcs: both mechanisms record the same "
+            "updates; pick one"
+        )
+    if "stream" in mechs and "local_persist" in mechs:
+        warnings.append(
+            "stream+local_persist: stream already provides global "
+            "durability, which is stronger than local"
+        )
+    if "stream" in mechs and "global_persist" in mechs:
+        warnings.append(
+            "stream+global_persist: both persist the journal globally"
+        )
+    if "volatile_apply" in mechs and "nonvolatile_apply" in mechs:
+        warnings.append(
+            "volatile_apply+nonvolatile_apply: both merge the same journal"
+        )
+    return warnings
+
+
+@dataclass
+class SubtreePolicy:
+    """The policies-file contents for one subtree (paper §III-C).
+
+    Defaults match the paper: "decoupling the namespace with an empty
+    policies file would give the application 100 inodes but the subtree
+    would behave like the existing CephFS implementation."
+    """
+
+    consistency: str = "rpcs"
+    durability: str = "stream"
+    allocated_inodes: int = DEFAULT_ALLOCATED_INODES
+    interfere: str = "allow"
+    #: Figure 1's HDFS subtree semantics: "weaker than strong consistency
+    #: because it lets clients read files opened for writing".  When set,
+    #: readers see the last committed file size without recalling the
+    #: writer's buffering capability (fast but possibly stale).
+    read_lazy: bool = False
+    #: The client that decoupled this subtree (set by the namespace API).
+    owner_client: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        # Validate compositions and the interfere policy eagerly.
+        parse_composition(self.consistency)
+        if self.durability != "none":
+            parse_composition(self.durability)
+        if self.interfere not in ("allow", "block"):
+            raise ValueError(
+                f"interfere policy must be 'allow' or 'block', "
+                f"got {self.interfere!r}"
+            )
+        if self.allocated_inodes < 0:
+            raise ValueError("allocated_inodes must be >= 0")
+
+    # -- derived views -----------------------------------------------------
+    @property
+    def combined_composition(self) -> str:
+        """Consistency and durability compositions merged, duplicates
+        dropped (e.g. both sides naming append_client_journal)."""
+        parts: List[str] = []
+        seen = set()
+        for comp in (self.consistency, self.durability):
+            if comp == "none":
+                continue
+            for stage in comp.split("+"):
+                key = stage.strip()
+                if key not in seen:
+                    seen.add(key)
+                    parts.append(key)
+        return "+".join(parts)
+
+    @property
+    def plan(self):
+        return parse_composition(self.combined_composition)
+
+    @property
+    def workload_mode(self) -> str:
+        return self.plan.workload_mode
+
+    @property
+    def is_decoupled(self) -> bool:
+        return self.workload_mode == "decoupled"
+
+    def warnings(self) -> List[str]:
+        return composition_warnings(self.combined_composition)
+
+    @classmethod
+    def from_semantics(
+        cls,
+        consistency: Consistency | str,
+        durability: Durability | str,
+        **kw,
+    ) -> "SubtreePolicy":
+        """Build the Table I policy for a semantics cell."""
+        comp = composition_for(consistency, durability)
+        # Split the canonical composition into its consistency-ish and
+        # durability-ish halves for the policy file's two fields.
+        mechs = comp.split("+")
+        dur = [m for m in mechs if m in ("local_persist", "global_persist", "stream")]
+        con = [m for m in mechs if m not in dur]
+        return cls(
+            consistency="+".join(con) if con else "rpcs",
+            durability="+".join(dur) if dur else "none",
+            **kw,
+        )
+
+    @classmethod
+    def for_system(cls, system: str, **kw) -> "SubtreePolicy":
+        """Policy mirroring a named real-world system (Figure 1 / 5)."""
+        try:
+            consistency, durability = SYSTEM_POLICIES[system]
+        except KeyError:
+            raise KeyError(
+                f"unknown system {system!r}; known: {sorted(SYSTEM_POLICIES)}"
+            ) from None
+        return cls.from_semantics(consistency, durability, **kw)

@@ -1,0 +1,65 @@
+"""The consistency and durability spectra (paper Section III-B).
+
+Consistency
+    * ``INVISIBLE`` — "the system does not handle merging updates into a
+      global namespace and it is assumed that middleware or the
+      application manages consistency lazily".
+    * ``WEAK`` — "merges updates at some time in the future".
+    * ``STRONG`` — "updates are seen immediately by all clients".
+
+Durability
+    * ``NONE`` — "updates are volatile and will be lost on a failure".
+    * ``LOCAL`` — "updates will be retained if the client node recovers
+      and reads the updates from local storage".
+    * ``GLOBAL`` — "all updates are always recoverable".
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Consistency", "Durability"]
+
+
+class Consistency(enum.Enum):
+    """The consistency spectrum (weakest to strongest)."""
+
+    INVISIBLE = "invisible"
+    WEAK = "weak"
+    STRONG = "strong"
+
+    @classmethod
+    def parse(cls, text: str) -> "Consistency":
+        try:
+            return cls(text.strip().lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown consistency {text!r}; "
+                f"expected one of {[c.value for c in cls]}"
+            ) from None
+
+    def __lt__(self, other: "Consistency") -> bool:
+        order = [Consistency.INVISIBLE, Consistency.WEAK, Consistency.STRONG]
+        return order.index(self) < order.index(other)
+
+
+class Durability(enum.Enum):
+    """The durability spectrum (weakest to strongest)."""
+
+    NONE = "none"
+    LOCAL = "local"
+    GLOBAL = "global"
+
+    @classmethod
+    def parse(cls, text: str) -> "Durability":
+        try:
+            return cls(text.strip().lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown durability {text!r}; "
+                f"expected one of {[d.value for d in cls]}"
+            ) from None
+
+    def __lt__(self, other: "Durability") -> bool:
+        order = [Durability.NONE, Durability.LOCAL, Durability.GLOBAL]
+        return order.index(self) < order.index(other)

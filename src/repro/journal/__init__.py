@@ -1,0 +1,36 @@
+"""The CephFS-style metadata journal subsystem.
+
+The journal is "the second way CephFS represents the file system
+namespace": a log of metadata updates that can materialize the namespace
+when replayed onto the metadata store.  Cudele re-uses this one format
+everywhere — the MDS's Stream mechanism, the client's Append Client
+Journal, Local Persist and Global Persist all write it, and the journal
+tool (the basis of Cudele's client library) imports, exports, filters
+and applies it.
+
+* :mod:`~repro.journal.events` — typed metadata update events.
+* :mod:`~repro.journal.format` — binary codec with per-event CRCs.
+* :mod:`~repro.journal.journaler` — buffered writer/reader over the
+  object store (striped) or a local disk.
+* :mod:`~repro.journal.tool` — import / export / erase / apply.
+"""
+
+from repro.journal.events import EventType, JournalEvent
+from repro.journal.format import (
+    JOURNAL_MAGIC,
+    JournalCodec,
+    JournalFormatError,
+)
+from repro.journal.journaler import Journaler, LocalJournal
+from repro.journal.tool import JournalTool
+
+__all__ = [
+    "EventType",
+    "JournalEvent",
+    "JournalCodec",
+    "JournalFormatError",
+    "JOURNAL_MAGIC",
+    "Journaler",
+    "LocalJournal",
+    "JournalTool",
+]

@@ -1,0 +1,163 @@
+"""Binary journal codec.
+
+Layout::
+
+    stream  := header event*
+    header  := magic(8) version(u16) reserved(u16)
+    event   := length(u32) crc32(u32) body
+    body    := op(u8) seq(u64) ino(u64) mode(u32) uid(u32) gid(u32)
+               client(u32) mtime(f64) path_len(u16) path
+               target_len(u16) target
+
+All integers little-endian.  The per-event CRC covers the body, so a
+truncated or corrupted tail is detected and decoding stops at the last
+good event — CephFS's journal recovery behaves the same way, and the
+failure-injection tests rely on it.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Iterable, List, Tuple
+
+from repro.journal.events import EventType, JournalEvent
+
+__all__ = ["JOURNAL_MAGIC", "JournalFormatError", "JournalCodec"]
+
+JOURNAL_MAGIC = b"CUDELEJ\x00"
+JOURNAL_VERSION = 1
+
+_HEADER = struct.Struct("<8sHH")
+_EVENT_PREFIX = struct.Struct("<II")  # length, crc32 of body
+_BODY_FIXED = struct.Struct("<BQQIIIId")  # op seq ino mode uid gid client mtime
+
+
+class JournalFormatError(ValueError):
+    """Raised for malformed journal streams."""
+
+
+class JournalCodec:
+    """Stateless encoder/decoder for journal byte streams."""
+
+    # ---- single events --------------------------------------------------
+    @staticmethod
+    def encode_event(event: JournalEvent) -> bytes:
+        path_b = event.path.encode("utf-8")
+        target_b = (event.target_path or "").encode("utf-8")
+        if len(path_b) > 0xFFFF or len(target_b) > 0xFFFF:
+            raise JournalFormatError("path too long for wire format")
+        body = (
+            _BODY_FIXED.pack(
+                int(event.op),
+                event.seq,
+                event.ino,
+                event.mode,
+                event.uid,
+                event.gid,
+                event.client_id,
+                event.mtime,
+            )
+            + struct.pack("<H", len(path_b))
+            + path_b
+            + struct.pack("<H", len(target_b))
+            + target_b
+        )
+        return _EVENT_PREFIX.pack(len(body), zlib.crc32(body)) + body
+
+    @staticmethod
+    def decode_event(data: bytes, offset: int = 0) -> Tuple[JournalEvent, int]:
+        """Decode one event at ``offset``; returns ``(event, next_offset)``."""
+        if offset + _EVENT_PREFIX.size > len(data):
+            raise JournalFormatError("truncated event prefix")
+        length, crc = _EVENT_PREFIX.unpack_from(data, offset)
+        body_start = offset + _EVENT_PREFIX.size
+        body = data[body_start : body_start + length]
+        if len(body) != length:
+            raise JournalFormatError("truncated event body")
+        if zlib.crc32(body) != crc:
+            raise JournalFormatError("event CRC mismatch")
+        # The CRC can coincidentally match garbage (e.g. crc32(b"") == 0),
+        # so the body structure is still validated defensively.
+        try:
+            op, seq, ino, mode, uid, gid, client, mtime = _BODY_FIXED.unpack_from(
+                body, 0
+            )
+            pos = _BODY_FIXED.size
+            (path_len,) = struct.unpack_from("<H", body, pos)
+            pos += 2
+            if pos + path_len + 2 > len(body):
+                raise JournalFormatError("path overruns event body")
+            path = body[pos : pos + path_len].decode("utf-8")
+            pos += path_len
+            (target_len,) = struct.unpack_from("<H", body, pos)
+            pos += 2
+            if pos + target_len > len(body):
+                raise JournalFormatError("target overruns event body")
+            target = body[pos : pos + target_len].decode("utf-8") or None
+        except (struct.error, UnicodeDecodeError) as exc:
+            raise JournalFormatError(f"malformed event body: {exc}") from exc
+        try:
+            event = JournalEvent(
+                op=EventType(op),
+                path=path,
+                ino=ino,
+                mode=mode,
+                uid=uid,
+                gid=gid,
+                mtime=mtime,
+                target_path=target,
+                seq=seq,
+                client_id=client,
+            )
+        except ValueError as exc:
+            raise JournalFormatError(f"invalid event payload: {exc}") from exc
+        return event, body_start + length
+
+    # ---- streams ---------------------------------------------------------
+    @classmethod
+    def encode_stream(cls, events: Iterable[JournalEvent]) -> bytes:
+        """Header plus all events."""
+        parts = [_HEADER.pack(JOURNAL_MAGIC, JOURNAL_VERSION, 0)]
+        parts.extend(cls.encode_event(e) for e in events)
+        return b"".join(parts)
+
+    @classmethod
+    def decode_stream(
+        cls, data: bytes, tolerate_truncation: bool = False
+    ) -> List[JournalEvent]:
+        """Decode a full stream.
+
+        With ``tolerate_truncation`` decoding stops cleanly at the first
+        damaged/truncated event (journal recovery semantics); otherwise
+        damage raises :class:`JournalFormatError`.
+        """
+        if len(data) < _HEADER.size:
+            raise JournalFormatError("stream shorter than header")
+        magic, version, _ = _HEADER.unpack_from(data, 0)
+        if magic != JOURNAL_MAGIC:
+            raise JournalFormatError(f"bad magic {magic!r}")
+        if version != JOURNAL_VERSION:
+            raise JournalFormatError(f"unsupported journal version {version}")
+        events: List[JournalEvent] = []
+        offset = _HEADER.size
+        while offset < len(data):
+            try:
+                event, offset = cls.decode_event(data, offset)
+            except JournalFormatError:
+                if tolerate_truncation:
+                    break
+                raise
+            events.append(event)
+        return events
+
+    @classmethod
+    def append_events(cls, stream: bytes, events: Iterable[JournalEvent]) -> bytes:
+        """Extend an existing encoded stream (creating it if empty)."""
+        if not stream:
+            return cls.encode_stream(events)
+        return stream + b"".join(cls.encode_event(e) for e in events)
+
+    @staticmethod
+    def header_size() -> int:
+        return _HEADER.size

@@ -1,0 +1,118 @@
+"""The journal tool: view, export, filter and apply journals.
+
+CephFS ships ``cephfs-journal-tool`` for disaster recovery; Cudele's
+client library is "based on the journal tool" (Section IV-B) — it
+re-purposes the import/export/erase/apply functions to implement Append
+Client Journal, Volatile Apply and Nonvolatile Apply.
+
+The tool is substrate-agnostic: it works on encoded byte streams and on
+any *applier* exposing ``apply_event(event)`` (the metadata store
+implements this).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Protocol
+
+from repro.journal.events import EventType, JournalEvent
+from repro.journal.format import JournalCodec
+
+__all__ = ["JournalTool", "EventApplier"]
+
+
+class EventApplier(Protocol):
+    """Anything that can replay a journal event onto a namespace."""
+
+    def apply_event(self, event: JournalEvent) -> None:  # pragma: no cover
+        ...
+
+
+class JournalTool:
+    """Stateless operations on journal streams."""
+
+    # -- inspect -----------------------------------------------------------
+    @staticmethod
+    def inspect(data: bytes) -> List[JournalEvent]:
+        """Decode all readable events (tolerates a damaged tail)."""
+        return JournalCodec.decode_stream(data, tolerate_truncation=True)
+
+    @staticmethod
+    def header_ok(data: bytes) -> bool:
+        try:
+            JournalCodec.decode_stream(data[: JournalCodec.header_size()] or b"")
+        except Exception:
+            return len(data) >= JournalCodec.header_size() and JournalTool._magic_ok(data)
+        return True
+
+    @staticmethod
+    def _magic_ok(data: bytes) -> bool:
+        from repro.journal.format import JOURNAL_MAGIC
+
+        return data[: len(JOURNAL_MAGIC)] == JOURNAL_MAGIC
+
+    # -- export / import -----------------------------------------------------
+    @staticmethod
+    def export(events: Iterable[JournalEvent]) -> bytes:
+        """Serialize events as a standalone journal file."""
+        return JournalCodec.encode_stream(events)
+
+    @staticmethod
+    def import_(data: bytes) -> List[JournalEvent]:
+        """Strict decode of an exported journal (raises on damage)."""
+        return JournalCodec.decode_stream(data, tolerate_truncation=False)
+
+    # -- erase -----------------------------------------------------------------
+    @staticmethod
+    def erase(
+        events: Iterable[JournalEvent],
+        *,
+        ops: Optional[Iterable[EventType]] = None,
+        predicate: Optional[Callable[[JournalEvent], bool]] = None,
+    ) -> List[JournalEvent]:
+        """Drop events matching ``ops`` and/or ``predicate``."""
+        drop_ops = set(ops or ())
+
+        def keep(ev: JournalEvent) -> bool:
+            if ev.op in drop_ops:
+                return False
+            if predicate is not None and predicate(ev):
+                return False
+            return True
+
+        return [ev for ev in events if keep(ev)]
+
+    @staticmethod
+    def erase_range(
+        events: Iterable[JournalEvent], start_seq: int, end_seq: int
+    ) -> List[JournalEvent]:
+        """Drop events with ``start_seq <= seq <= end_seq``."""
+        if end_seq < start_seq:
+            raise ValueError("end_seq must be >= start_seq")
+        return [ev for ev in events if not (start_seq <= ev.seq <= end_seq)]
+
+    # -- apply ---------------------------------------------------------------
+    @staticmethod
+    def apply(
+        events: Iterable[JournalEvent],
+        applier: EventApplier,
+        *,
+        skip_errors: bool = False,
+    ) -> int:
+        """Replay events in order onto ``applier``.
+
+        Returns the number of events applied.  ``skip_errors`` mirrors
+        the tool's recovery mode: conflicting events (e.g. create of an
+        existing name) are skipped instead of aborting the replay.
+        """
+        applied = 0
+        for ev in events:
+            if not ev.is_mutation:
+                continue
+            try:
+                applier.apply_event(ev)
+            except Exception:
+                if not skip_errors:
+                    raise
+                continue
+            applied += 1
+        return applied

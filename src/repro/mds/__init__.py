@@ -1,0 +1,43 @@
+"""Metadata server substrate (the CephFS MDS analogue).
+
+The MDS keeps the namespace in two representations (paper Section IV):
+an in-memory **metadata store** (tree of directory fragments) and the
+**journal** (a log of updates streamed into the object store).  Clients
+interact with it over RPCs; an **inode cache** with **capabilities**
+lets a sole writer create files with a single RPC, while contention
+forces extra ``lookup`` RPCs — the effect behind Figures 3b/3c.
+
+Modules:
+
+* :mod:`~repro.mds.inode` — inodes, dentries, directory fragments.
+* :mod:`~repro.mds.mdstore` — the namespace tree + journal-event replay
+  + object-store serialization.
+* :mod:`~repro.mds.inotable` — inode number allocation/provisioning.
+* :mod:`~repro.mds.caps` — capability issue/revoke state machine.
+* :mod:`~repro.mds.journal` — MDS journaling with segments and the
+  dispatch window (Figure 3a's tunable).
+* :mod:`~repro.mds.server` — the request-serving daemon.
+"""
+
+from repro.mds.inode import DirFragment, Inode, INODE_BYTES
+from repro.mds.inotable import InoTable
+from repro.mds.mdstore import MetadataStore, FsError
+from repro.mds.caps import CapState, CapTracker
+from repro.mds.journal import MDSJournal
+from repro.mds.server import MetadataServer, MDSConfig, Request, Response
+
+__all__ = [
+    "Inode",
+    "DirFragment",
+    "INODE_BYTES",
+    "InoTable",
+    "MetadataStore",
+    "FsError",
+    "CapState",
+    "CapTracker",
+    "MDSJournal",
+    "MetadataServer",
+    "MDSConfig",
+    "Request",
+    "Response",
+]

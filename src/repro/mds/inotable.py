@@ -1,0 +1,118 @@
+"""Inode number allocation and client pre-allocation.
+
+CephFS's inode cache "has code for manipulating inode numbers, such as
+pre-allocating inodes to clients" (paper Section IV-C).  Cudele uses it
+to honor the policy file's ``allocated_inodes`` contract: a decoupled
+client is provisioned a private inode range it may use anywhere in its
+subtree, and the merge skips inodes the client consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+__all__ = ["InoRange", "InoTable"]
+
+
+@dataclass(frozen=True)
+class InoRange:
+    """A half-open inode number range ``[start, start + count)``."""
+
+    start: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.start <= 0 or self.count <= 0:
+            raise ValueError("inode ranges must be positive and non-empty")
+
+    def __contains__(self, ino: int) -> bool:
+        return self.start <= ino < self.start + self.count
+
+    @property
+    def end(self) -> int:
+        return self.start + self.count
+
+
+class InoTable:
+    """Allocates inode numbers; supports client range provisioning."""
+
+    def __init__(self, first_free: int = 1 << 20):
+        if first_free <= 1:
+            raise ValueError("first_free must leave room for system inodes")
+        self._next = first_free
+        self._ranges: Dict[int, List[InoRange]] = {}
+        self._consumed: Set[int] = set()
+
+    # -- direct allocation (MDS-side create path) -----------------------
+    def allocate(self) -> int:
+        ino = self._next
+        self._next += 1
+        self._consumed.add(ino)
+        return ino
+
+    # -- client provisioning (decoupled namespaces) -----------------------
+    def provision(self, client_id: int, count: int) -> InoRange:
+        """Reserve ``count`` inodes for ``client_id``.
+
+        This is the 'Allocated Inodes' contract: the range is withheld
+        from other allocations so the decoupled client's local creates
+        cannot collide at merge time.
+        """
+        if count <= 0:
+            raise ValueError("must provision at least one inode")
+        rng = InoRange(self._next, count)
+        self._next += count
+        self._ranges.setdefault(client_id, []).append(rng)
+        return rng
+
+    def ranges_for(self, client_id: int) -> List[InoRange]:
+        return list(self._ranges.get(client_id, []))
+
+    def owner_of(self, ino: int) -> int | None:
+        """Which client (if any) holds the range containing ``ino``."""
+        for client_id, ranges in self._ranges.items():
+            if any(ino in r for r in ranges):
+                return client_id
+        return None
+
+    # -- merge bookkeeping -----------------------------------------------
+    def mark_consumed(self, ino: int) -> None:
+        """Record that a provisioned inode was actually used by a client.
+
+        Replaying a client journal calls this so the table can 'skip
+        inodes used by the client at merge time' (Section IV-C).
+        """
+        if ino in self._consumed:
+            raise ValueError(f"inode {ino} consumed twice")
+        self._consumed.add(ino)
+
+    def is_consumed(self, ino: int) -> bool:
+        return ino in self._consumed
+
+    def note_external(self, ino: int) -> None:
+        """Record an inode minted elsewhere (journal replay, recovery).
+
+        Keeps future allocations clear of replayed numbers; idempotent.
+        """
+        self._consumed.add(ino)
+        if ino >= self._next:
+            self._next = ino + 1
+
+    def release_unused(self, client_id: int) -> int:
+        """Return a client's unconsumed provisioned inodes; count reclaimed.
+
+        Reclaimed numbers are not re-issued (CephFS also burns them);
+        this just clears the reservation bookkeeping.
+        """
+        ranges = self._ranges.pop(client_id, [])
+        reclaimed = 0
+        for rng in ranges:
+            for ino in range(rng.start, rng.end):
+                if ino not in self._consumed:
+                    reclaimed += 1
+        return reclaimed
+
+    @property
+    def next_free(self) -> int:
+        return self._next

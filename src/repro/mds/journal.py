@@ -1,0 +1,176 @@
+"""MDS-side journaling: segments, the dispatch window, trimming.
+
+This is the Stream mechanism's engine-room.  Metadata updates buffer in
+the open segment; full segments are dispatched (written to the striped
+journal in the object store) subject to the *dispatch window* — at most
+``dispatch_size`` segments in flight at once, the tunable swept in
+Figure 3a.
+
+The journaling cost model (constants in :mod:`repro.calibration`):
+
+* every journaled op adds commit **latency** (pipelined ack) of
+  ``JLAT_BASE_S + JLAT_UNIT_S * dispatch_factor(d)``;
+* under load, managing the dispatch list costs extra MDS **CPU** of
+  ``JCPU_UNIT_S * dispatch_factor(d) * queue_depth / JQUEUE_SCALE``;
+* when the window is full and a segment must go out, the MDS stalls
+  until a slot frees.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from repro import calibration as cal
+from repro.journal.events import JournalEvent, WIRE_EVENT_BYTES
+from repro.journal.journaler import Journaler
+from repro.rados.striper import Striper
+from repro.sim.engine import Engine, Event
+from repro.sim.resources import Semaphore
+
+__all__ = ["MDSJournal"]
+
+
+class MDSJournal:
+    """Segmented, windowed journaling for the metadata server."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        striper: Striper,
+        segment_events: int = 1024,
+        dispatch_size: int = 40,
+        enabled: bool = True,
+        src: str = "mds",
+    ):
+        if dispatch_size < 1:
+            raise ValueError("dispatch size must be >= 1")
+        self.engine = engine
+        self.enabled = enabled
+        self.dispatch_size = dispatch_size
+        self.segment_events = segment_events
+        self._journaler = Journaler(
+            engine, striper, segment_events=segment_events, src=src
+        )
+        self._window = Semaphore(engine, dispatch_size, name="journal.window")
+        self._factor = cal.dispatch_factor(dispatch_size)
+        self._pending_count = 0  # counted-only events (perf mode)
+        self._inflight: list = []
+        self.segments_in_flight = 0
+        self.stalls = 0
+        self.events_logged = 0
+
+    # -- cost model -------------------------------------------------------
+    def commit_latency_s(self) -> float:
+        """Per-op latency added by journaling (0 when disabled)."""
+        if not self.enabled:
+            return 0.0
+        return cal.JLAT_BASE_S + cal.JLAT_UNIT_S * self._factor
+
+    def management_cpu_s(self, queue_depth: int) -> float:
+        """Per-op MDS CPU for managing the dispatch window under load."""
+        if not self.enabled:
+            return 0.0
+        return cal.JCPU_UNIT_S * self._factor * (queue_depth / cal.JQUEUE_SCALE)
+
+    # -- logging -----------------------------------------------------------
+    def log_events(
+        self,
+        events: Optional[List[JournalEvent]] = None,
+        count: Optional[int] = None,
+    ) -> Generator[Event, None, None]:
+        """Record events (process body; may stall on a full window).
+
+        ``events`` carries real journal events (correctness paths);
+        ``count`` logs that many *counted-only* events (large-scale
+        performance runs, where per-event objects would swamp the
+        simulator's host memory without changing any simulated cost).
+        """
+        if not self.enabled:
+            return
+        if events is not None:
+            for ev in events:
+                _, full = self._journaler.append(ev)
+                self.events_logged += 1
+                if full:
+                    yield from self._dispatch_real()
+        if count:
+            self._pending_count += count
+            self.events_logged += count
+            while self._pending_count >= self.segment_events:
+                self._pending_count -= self.segment_events
+                yield from self._dispatch_counted(self.segment_events)
+
+    def _acquire_slot(self) -> Generator[Event, None, None]:
+        if self._window.tokens == 0:
+            self.stalls += 1
+        yield self._window.acquire()
+
+    def _dispatch_real(self) -> Generator[Event, None, None]:
+        segment = self._journaler.take_segment()
+        yield from self._acquire_slot()
+        self.segments_in_flight += 1
+        self._track(
+            self.engine.process(self._flush_real(segment), name="mds-journal-flush")
+        )
+
+    def _flush_real(self, segment) -> Generator[Event, None, None]:
+        try:
+            yield self.engine.process(self._journaler.dispatch_segment(segment))
+        finally:
+            self.segments_in_flight -= 1
+            self._window.release()
+
+    def _dispatch_counted(self, n: int) -> Generator[Event, None, None]:
+        yield from self._acquire_slot()
+        self.segments_in_flight += 1
+        self._track(
+            self.engine.process(self._flush_counted(n), name="mds-journal-flush")
+        )
+
+    def _track(self, proc) -> None:
+        self._inflight = [p for p in self._inflight if not p.triggered]
+        self._inflight.append(proc)
+
+    def _flush_counted(self, n: int) -> Generator[Event, None, None]:
+        try:
+            # One placeholder byte carries the full simulated wire cost.
+            yield self.engine.process(
+                self._journaler.striper.append(
+                    b"\x00",
+                    src=self._journaler.src,
+                    charge_factor=float(n * WIRE_EVENT_BYTES),
+                )
+            )
+            self._journaler.segments_dispatched += 1
+        finally:
+            self.segments_in_flight -= 1
+            self._window.release()
+
+    def flush(self) -> Generator[Event, None, None]:
+        """Flush any partial segment and wait for every in-flight
+        segment write to land (shutdown / policy transition / the Stream
+        mechanism's completion point — durability is only guaranteed
+        once the journal is safe in the object store)."""
+        if not self.enabled:
+            return
+        if self._journaler.open_events:
+            yield from self._dispatch_real()
+        if self._pending_count:
+            n, self._pending_count = self._pending_count, 0
+            yield from self._dispatch_counted(n)
+        pending = [p for p in self._inflight if not p.triggered]
+        self._inflight = []
+        if pending:
+            yield self.engine.all_of(pending)
+
+    # -- recovery / inspection ----------------------------------------------
+    def read_all(self, dst: str = "mds") -> Generator[Event, None, list]:
+        events = yield self.engine.process(self._journaler.read_all(dst=dst))
+        return events
+
+    @property
+    def segments_dispatched(self) -> int:
+        return self._journaler.segments_dispatched
+
+    def trim(self, through_seq: int) -> None:
+        self._journaler.trim(through_seq)

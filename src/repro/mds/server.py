@@ -1,0 +1,616 @@
+"""The metadata server daemon.
+
+A single-threaded request loop (the paper evaluates exactly one MDS and
+finds its peak at ~3000 ops/s) in front of the in-memory metadata store,
+the capability tracker and the segmented journal.  Requests arrive via
+:meth:`MetadataServer.submit`; the completion event fires when the op's
+reply would reach the wire.
+
+Cost model per request (constants in :mod:`repro.calibration`):
+
+* ``count * rpcs * MDS_SERVICE_S`` CPU — ``rpcs`` is 2 when the client
+  lacks the directory capability (extra ``lookup`` per create);
+* journaling management CPU that grows with queue depth (Figure 3a);
+* commit latency added to the *reply*, without holding the CPU
+  (journal acks are pipelined);
+* ``REVOKE_CPU_S`` when an access revokes another client's capability;
+* ``REJECT_CPU_S`` for -EBUSY rejections under ``interfere=block``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from repro import calibration as cal
+from repro.journal.events import EventType, JournalEvent
+from repro.journal.tool import JournalTool
+from repro.mds.caps import CapTracker
+from repro.mds.inode import ROOT_INO
+from repro.mds.journal import MDSJournal
+from repro.mds.mdstore import FsError, MetadataStore
+from repro.rados.cluster import ObjectStore
+from repro.rados.striper import Striper
+from repro.sim.engine import Engine, Event, Timeout
+from repro.sim.network import Network
+from repro.sim.resources import Store
+from repro.sim.rng import RngStream
+from repro.sim.stats import StatsRegistry
+
+__all__ = ["MDSConfig", "Request", "Response", "MetadataServer"]
+
+#: Per-directory-entry CPU cost of an ``ls`` scan — readdir is
+#: "notoriously heavy-weight" (§V-B3) and scales with directory size.
+LS_ENTRY_S = 2e-6
+
+
+@dataclass
+class MDSConfig:
+    """Tunables for one metadata server."""
+
+    journal_enabled: bool = True
+    dispatch_size: int = 40
+    segment_events: int = 1024
+    #: Mutate the real namespace tree.  Large-scale performance runs set
+    #: this False: the simulated costs are identical but per-file Python
+    #: objects are not allocated (2M files would swamp host memory).
+    materialize: bool = True
+    service_jitter_cv: float = cal.SERVICE_JITTER_CV
+    seed: int = 0
+    #: Auto-apply the journal to the object-store metadata store every
+    #: N dispatched segments ("the metadata server applies the updates
+    #: in the journal to the metadata store when the journal reaches a
+    #: certain size", §II-A).  None disables the background applier.
+    checkpoint_every_segments: Optional[int] = None
+    #: MDS inode-cache capacity in entries.  When the namespace outgrows
+    #: it, a fraction of operations must fetch metadata from the object
+    #: store (paper §VI: "for random workloads larger than the cache
+    #: extra RPCs hurt performance").
+    inode_cache_entries: int = cal.INODE_CACHE_DEFAULT
+
+
+@dataclass
+class Request:
+    """One client->MDS message (possibly batching ``count`` like ops)."""
+
+    op: str
+    path: str
+    client_id: int
+    names: Optional[List[str]] = None
+    count: int = 1
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.names is not None:
+            self.count = len(self.names)
+        if self.count < 1:
+            raise ValueError("request count must be >= 1")
+
+
+@dataclass
+class Response:
+    """Reply to one request."""
+
+    ok: bool
+    value: Any = None
+    error: Optional[str] = None
+    rpcs: int = 1
+    revoked: bool = False
+    cached: bool = False  # client may serve lookups locally afterwards
+
+
+class MetadataServer:
+    """The simulated CephFS metadata server."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        objstore: ObjectStore,
+        network: Network,
+        config: Optional[MDSConfig] = None,
+        name: str = "mds0",
+    ):
+        self.engine = engine
+        self.objstore = objstore
+        self.network = network
+        self.config = config or MDSConfig()
+        self.name = name
+        self.mdstore = MetadataStore()
+        self.caps = CapTracker()
+        self.journal = MDSJournal(
+            engine,
+            Striper(objstore, "metadata", f"{name}.journal"),
+            segment_events=self.config.segment_events,
+            dispatch_size=self.config.dispatch_size,
+            enabled=self.config.journal_enabled,
+            src=name,
+        )
+        self.stats = StatsRegistry(engine, name)
+        self.rng = RngStream(self.config.seed, f"{name}/service")
+        self._queue: Store = Store(engine, name=f"{name}.queue")
+        #: Resolves a path to the governing subtree policy (wired by the
+        #: Cudele namespace API); returns None for plain POSIX subtrees.
+        self.policy_resolver: Optional[Callable[[str], Any]] = None
+        #: Synthetic per-directory entry counts for non-materialized runs.
+        self._synthetic_sizes: Dict[int, int] = {}
+        #: Files currently open for writing: path -> (client_id, size_getter).
+        #: The getter reads the writer's *buffered* size (its write-
+        #: buffering capability); recalls consult it (paper §II-B).
+        self._open_writers: Dict[str, tuple] = {}
+        self._cpu_util = self.stats.utilization("cpu", capacity=1.0)
+        self._loop = engine.process(self._serve_loop(), name=f"{name}.loop")
+        self.running = True
+        self._last_ckpt_segments = 0
+        self._ckpt_in_progress = False
+
+    # ------------------------------------------------------------------
+    # client entry point
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> Event:
+        """Queue a request; returns the event that fires with a Response."""
+        done = self.engine.event()
+        self._queue.put((request, done))
+        return done
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # request loop
+    # ------------------------------------------------------------------
+    def _serve_loop(self) -> Generator[Event, None, None]:
+        while True:
+            request, done = yield self._queue.get()
+            if request is None:  # shutdown sentinel
+                self.running = False
+                if done is not None:
+                    done.succeed(None)
+                return
+            self._cpu_util.set_level(1.0)
+            try:
+                response, commit_latency = yield from self._handle(request)
+            except Exception as exc:  # defensive: never kill the loop
+                response, commit_latency = (
+                    Response(ok=False, error=f"EIO: {exc}"),
+                    0.0,
+                )
+            self._cpu_util.set_level(0.0)
+            self._reply(done, response, commit_latency)
+            self._maybe_auto_checkpoint()
+
+    def _reply(self, done: Event, response: Response, latency: float) -> None:
+        if latency > 0:
+            self.engine.process(self._delayed_reply(done, response, latency))
+        else:
+            done.succeed(response)
+
+    def _delayed_reply(
+        self, done: Event, response: Response, latency: float
+    ) -> Generator[Event, None, None]:
+        yield Timeout(self.engine, latency)
+        done.succeed(response)
+
+    def shutdown(self) -> Event:
+        """Stop the serve loop after the queue drains."""
+        done = self.engine.event()
+        self._queue.put((None, done))
+        return done
+
+    def _maybe_auto_checkpoint(self) -> None:
+        every = self.config.checkpoint_every_segments
+        if not every or self._ckpt_in_progress:
+            return
+        if self.journal.segments_dispatched - self._last_ckpt_segments < every:
+            return
+        self._ckpt_in_progress = True
+        self._last_ckpt_segments = self.journal.segments_dispatched
+        self.engine.process(self._auto_checkpoint(), name=f"{self.name}.ckpt")
+
+    def _auto_checkpoint(self) -> Generator[Event, None, None]:
+        try:
+            yield self.engine.process(self.checkpoint())
+        finally:
+            self._ckpt_in_progress = False
+
+    def checkpoint(self) -> Generator[Event, None, int]:
+        """Apply the journal to the metadata store in the object store.
+
+        "The metadata server applies the updates in the journal to the
+        metadata store when the journal reaches a certain size" (§II-A):
+        flush the journal, write every directory fragment as an object,
+        and trim the journal up to the applied watermark.  Returns the
+        number of fragments persisted.
+        """
+        yield from self.journal.flush()
+        frags = yield self.engine.process(
+            self.mdstore.save_all(self.objstore, src=self.name)
+        )
+        self.journal.trim(self.journal.events_logged)
+        self.stats.counter("checkpoints").incr()
+        return frags
+
+    def restart(self) -> Generator[Event, None, int]:
+        """MDS restart: re-read the journal from the object store and
+        replay it onto the in-memory store (Nonvolatile Apply's second
+        half; also the recovery path).  Returns events replayed."""
+        events = yield self.engine.process(self.journal.read_all(dst=self.name))
+        yield from self._cpu(len(events) * cal.VOLATILE_APPLY_S)
+        if self.config.materialize:
+            JournalTool.apply(events, self.mdstore, skip_errors=True)
+        if not self.running:
+            self._loop = self.engine.process(
+                self._serve_loop(), name=f"{self.name}.loop"
+            )
+            self.running = True
+        return len(events)
+
+    # ------------------------------------------------------------------
+    # cost helpers
+    # ------------------------------------------------------------------
+    def _service_time(self, ops: int) -> float:
+        """Jittered CPU time for ``ops`` back-to-back operations."""
+        if ops <= 0:
+            return 0.0
+        cv = self.config.service_jitter_cv / (ops ** 0.5)
+        return ops * self.rng.lognormal_service(cal.MDS_SERVICE_S, cv)
+
+    def namespace_size(self) -> int:
+        """Inodes the namespace holds (materialized or synthetic)."""
+        if self.config.materialize:
+            return len(self.mdstore.inodes)
+        return sum(self._synthetic_sizes.values())
+
+    def _cache_miss_time(self, ops: int) -> float:
+        """Expected metadata-store fetch time for ``ops`` operations.
+
+        Miss probability is the fraction of the namespace that does not
+        fit in the inode cache; each miss reads a dirfrag chunk from the
+        object store (expected-value charging keeps runs deterministic).
+        """
+        size = self.namespace_size()
+        cache = self.config.inode_cache_entries
+        if size <= cache:
+            return 0.0
+        miss_p = 1.0 - cache / size
+        return ops * miss_p * cal.INODE_MISS_FETCH_S
+
+    def _cpu(self, seconds: float) -> Generator[Event, None, None]:
+        if seconds > 0:
+            yield Timeout(self.engine, seconds)
+
+    # ------------------------------------------------------------------
+    # handlers
+    # ------------------------------------------------------------------
+    def _handle(self, request: Request):
+        handler = getattr(self, f"_op_{request.op}", None)
+        if handler is None:
+            yield from self._cpu(cal.MDS_SERVICE_S)
+            return Response(ok=False, error=f"EINVAL: unknown op {request.op}"), 0.0
+        blocked = self._interfere_blocked(request)
+        if blocked:
+            self.stats.counter("rejects").incr(request.count)
+            yield from self._cpu(cal.REJECT_CPU_S * request.count)
+            return Response(ok=False, error="EBUSY", rpcs=1), 0.0
+        result = yield from handler(request)
+        return result
+
+    def _interfere_blocked(self, request: Request) -> bool:
+        if self.policy_resolver is None:
+            return False
+        policy = self.policy_resolver(request.path)
+        if policy is None:
+            return False
+        interfere = getattr(policy, "interfere", "allow")
+        owner = getattr(policy, "owner_client", None)
+        if interfere == "block" and owner is not None and owner != request.client_id:
+            return request.op in (
+                "create", "mkdir", "unlink", "rmdir", "setattr", "rename"
+            )
+        return False
+
+    def _dir_ino(self, path: str) -> int:
+        if self.config.materialize:
+            return self.mdstore.resolve(path).ino
+        # Non-materialized runs key capability state by path hash.
+        return ROOT_INO + (hash(path) & 0x7FFFFFFF) + 1
+
+    # -- mutations --------------------------------------------------------
+    def _op_create(self, request: Request):
+        return (yield from self._mutate_batch(request, EventType.CREATE))
+
+    def _op_mkdir(self, request: Request):
+        return (yield from self._mutate_batch(request, EventType.MKDIR))
+
+    def _op_unlink(self, request: Request):
+        return (yield from self._mutate_batch(request, EventType.UNLINK))
+
+    def _op_rmdir(self, request: Request):
+        return (yield from self._mutate_batch(request, EventType.RMDIR))
+
+    def _mutate_batch(self, request: Request, op: EventType):
+        try:
+            dir_ino = self._dir_ino(request.path)
+        except FsError as exc:
+            yield from self._cpu(cal.MDS_SERVICE_S)
+            return Response(ok=False, error=str(exc)), 0.0
+        outcome = self.caps.write_access(dir_ino, request.client_id)
+        self.stats.counter("rpcs").incr(request.count * outcome.rpcs)
+        if outcome.rpcs > 1:
+            self.stats.counter("lookups").incr(request.count)
+        self.stats.series("ops").record(self.engine.now, float(request.count))
+        self.stats.counter("creates").incr(request.count)
+
+        cpu = self._service_time(request.count * outcome.rpcs)
+        cpu += request.count * self.journal.management_cpu_s(self.queue_depth)
+        cpu += self._cache_miss_time(request.count * (outcome.rpcs - 1))
+        if outcome.revoked:
+            self.stats.counter("revocations").incr()
+            cpu += cal.REVOKE_CPU_S
+        yield from self._cpu(cpu)
+
+        created, errors = [], []
+        events: Optional[List[JournalEvent]] = None
+        if self.config.materialize and request.names is not None:
+            events = []
+            for name in request.names:
+                path = request.path.rstrip("/") + "/" + name
+                try:
+                    if op == EventType.CREATE:
+                        inode = self.mdstore.create(path)
+                    elif op == EventType.MKDIR:
+                        inode = self.mdstore.mkdir(path)
+                    elif op == EventType.RMDIR:
+                        self.mdstore.rmdir(path)
+                        inode = None
+                    else:
+                        self.mdstore.unlink(path)
+                        inode = None
+                    created.append(name)
+                    events.append(
+                        JournalEvent(
+                            op,
+                            path,
+                            ino=inode.ino if inode else 0,
+                            mtime=self.engine.now,
+                            client_id=request.client_id,
+                        )
+                    )
+                except FsError as exc:
+                    errors.append(f"{name}: {exc}")
+        else:
+            self._synthetic_sizes[dir_ino] = (
+                self._synthetic_sizes.get(dir_ino, 0) + request.count
+            )
+
+        if events is not None:
+            yield from self.journal.log_events(events=events)
+        else:
+            yield from self.journal.log_events(count=request.count)
+
+        latency = request.count * self.journal.commit_latency_s()
+        ok = not errors
+        return (
+            Response(
+                ok=ok,
+                value=created if request.names is not None else request.count,
+                error="; ".join(errors) if errors else None,
+                rpcs=outcome.rpcs,
+                revoked=outcome.revoked,
+                cached=self.caps.can_cache(dir_ino, request.client_id),
+            ),
+            latency,
+        )
+
+    def _op_setattr(self, request: Request):
+        yield from self._cpu(self._service_time(1))
+        if not self.config.materialize:
+            return Response(ok=True), self.journal.commit_latency_s()
+        try:
+            attrs = dict(request.payload or {})
+            self.mdstore.setattr(request.path, **attrs)
+        except FsError as exc:
+            return Response(ok=False, error=str(exc)), 0.0
+        yield from self.journal.log_events(
+            events=[
+                JournalEvent(
+                    EventType.SETATTR,
+                    request.path,
+                    mtime=self.engine.now,
+                    client_id=request.client_id,
+                    **{k: v for k, v in (request.payload or {}).items()
+                       if k in ("mode", "uid", "gid")},
+                )
+            ]
+        )
+        return Response(ok=True), self.journal.commit_latency_s()
+
+    def _op_rename(self, request: Request):
+        yield from self._cpu(self._service_time(2))  # two directories touched
+        if not self.config.materialize:
+            return Response(ok=True), self.journal.commit_latency_s()
+        try:
+            self.mdstore.rename(request.path, request.payload)
+        except FsError as exc:
+            return Response(ok=False, error=str(exc)), 0.0
+        yield from self.journal.log_events(
+            events=[
+                JournalEvent(
+                    EventType.RENAME,
+                    request.path,
+                    target_path=request.payload,
+                    mtime=self.engine.now,
+                    client_id=request.client_id,
+                )
+            ]
+        )
+        return Response(ok=True), self.journal.commit_latency_s()
+
+    # -- write-buffering capabilities (open files) -------------------------
+    def _op_open_write(self, request: Request):
+        """Grant a write-buffering capability on a file.
+
+        ``payload`` is a zero-argument callable returning the writer's
+        current buffered size (the simulation's stand-in for the cap
+        state held client-side).
+        """
+        yield from self._cpu(self._service_time(1))
+        if self.config.materialize and not self.mdstore.exists(request.path):
+            try:
+                self.mdstore.create(request.path)
+            except FsError as exc:
+                return Response(ok=False, error=str(exc)), 0.0
+        if request.path in self._open_writers:
+            holder, _ = self._open_writers[request.path]
+            if holder != request.client_id:
+                return Response(ok=False, error="EBUSY: file open for write"), 0.0
+        self._open_writers[request.path] = (request.client_id, request.payload)
+        self.stats.counter("wb_caps_granted").incr()
+        return Response(ok=True, cached=True), 0.0
+
+    def _op_close_write(self, request: Request):
+        """Flush and drop a write-buffering capability.
+
+        ``payload`` carries the final file size.
+        """
+        yield from self._cpu(self._service_time(1))
+        entry = self._open_writers.pop(request.path, None)
+        if entry is None:
+            return Response(ok=False, error="EBADF: not open for write"), 0.0
+        size = int(request.payload or 0)
+        if self.config.materialize:
+            try:
+                self.mdstore.setattr(request.path, size=size)
+            except FsError as exc:
+                return Response(ok=False, error=str(exc)), 0.0
+            yield from self.journal.log_events(
+                events=[
+                    JournalEvent(
+                        EventType.SETATTR, request.path,
+                        mtime=self.engine.now, client_id=request.client_id,
+                    )
+                ]
+            )
+        return Response(ok=True, value=size), self.journal.commit_latency_s()
+
+    def _recall_writer(self, path: str):
+        """Recall the writer's buffering cap: one round trip, then the
+        flushed size is visible.  Returns (latency, size)."""
+        client_id, getter = self._open_writers[path]
+        size = int(getter()) if callable(getter) else 0
+        if self.config.materialize:
+            try:
+                self.mdstore.setattr(path, size=size)
+            except FsError:
+                pass
+        self.stats.counter("wb_recalls").incr()
+        return cal.CAP_RECALL_S, size
+
+    # -- reads -------------------------------------------------------------
+    def _op_lookup(self, request: Request):
+        self.stats.counter("rpcs").incr(request.count)
+        self.stats.counter("lookups").incr(request.count)
+        yield from self._cpu(
+            self._service_time(request.count)
+            + self._cache_miss_time(request.count)
+        )
+        if not self.config.materialize:
+            return Response(ok=True, value=True), 0.0
+        exists = self.mdstore.exists(request.path)
+        return Response(ok=True, value=exists), 0.0
+
+    def _op_stat(self, request: Request):
+        self.stats.counter("rpcs").incr(1)
+        yield from self._cpu(self._service_time(1) + self._cache_miss_time(1))
+        latency = 0.0
+        entry = self._open_writers.get(request.path)
+        if entry is not None and entry[0] != request.client_id:
+            # Someone else has the file open for writing.  Under strong
+            # consistency the MDS recalls the write-buffering cap so the
+            # reader sees the true size; a read_lazy subtree (Figure 1's
+            # HDFS semantics) answers immediately with the committed —
+            # possibly stale — metadata.
+            policy = self.policy_resolver(request.path) if self.policy_resolver else None
+            if policy is not None and getattr(policy, "read_lazy", False):
+                self.stats.counter("lazy_reads").incr()
+            else:
+                latency, _ = self._recall_writer(request.path)
+        if not self.config.materialize:
+            return Response(ok=True, value=None), latency
+        try:
+            inode = self.mdstore.resolve(request.path)
+        except FsError as exc:
+            return Response(ok=False, error=str(exc)), 0.0
+        return Response(ok=True, value=inode), latency
+
+    def _op_ls(self, request: Request):
+        self.stats.counter("rpcs").incr(1)
+        if self.config.materialize:
+            try:
+                entries = self.mdstore.listdir(request.path)
+            except FsError as exc:
+                yield from self._cpu(self._service_time(1))
+                return Response(ok=False, error=str(exc)), 0.0
+            n = len(entries)
+        else:
+            n = self._synthetic_sizes.get(self._dir_ino(request.path), 0)
+            entries = n
+        yield from self._cpu(self._service_time(1) + n * LS_ENTRY_S)
+        return Response(ok=True, value=entries), 0.0
+
+    # -- Cudele support ------------------------------------------------------
+    def _op_provision(self, request: Request):
+        """Reserve ``count`` inodes for a decoupled client."""
+        yield from self._cpu(self._service_time(1))
+        rng = self.mdstore.inotable.provision(request.client_id, request.count)
+        return Response(ok=True, value=rng), 0.0
+
+    def _op_volatile_apply(self, request: Request):
+        """Replay a client journal onto the in-memory metadata store.
+
+        ``payload`` is either a list of JournalEvents, encoded journal
+        bytes, or an int count (non-materialized bulk merges).
+        ``names=None``; conflict handling per the subtree's merge
+        priority is the caller's concern (see repro.core.merge).
+        """
+        payload = request.payload
+        if isinstance(payload, int):
+            n = payload
+            events = None
+        elif isinstance(payload, (bytes, bytearray)):
+            events = JournalTool.inspect(bytes(payload))
+            n = len(events)
+        else:
+            events = list(payload)
+            n = len(events)
+        yield from self._cpu(n * cal.VOLATILE_APPLY_S)
+        applied = n
+        conflicts = 0
+        if events is None or not self.config.materialize:
+            # Counted merges still grow the (synthetic) directory so that
+            # progress checks (ls) observe partial results.
+            try:
+                dir_ino = self._dir_ino(request.path)
+                self._synthetic_sizes[dir_ino] = (
+                    self._synthetic_sizes.get(dir_ino, 0) + n
+                )
+            except FsError:
+                pass
+        if events is not None and self.config.materialize:
+            applied = 0
+            for ev in events:
+                try:
+                    self.mdstore.apply_event(ev)
+                    applied += 1
+                    if ev.ino:
+                        owner = self.mdstore.inotable.owner_of(ev.ino)
+                        if owner is not None and not self.mdstore.inotable.is_consumed(ev.ino):
+                            self.mdstore.inotable.mark_consumed(ev.ino)
+                except FsError:
+                    conflicts += 1
+        self.stats.counter("merged_events").incr(n)
+        return Response(ok=True, value={"applied": applied, "conflicts": conflicts}), 0.0
+
+    # ------------------------------------------------------------------
+    def cpu_utilization(self, t0: float, t1: float) -> float:
+        return self._cpu_util.utilization(t0, t1)

@@ -1,0 +1,12 @@
+"""The monitor daemon.
+
+"Users control consistency and durability for subtrees by contacting a
+daemon in the system called a monitor, which manages cluster state
+changes.  Users present a directory path and a policies configuration
+that gets distributed and versioned by the monitor to all daemons in the
+system." (paper Section III-C)
+"""
+
+from repro.mon.monitor import Monitor, PolicyMapEntry
+
+__all__ = ["Monitor", "PolicyMapEntry"]

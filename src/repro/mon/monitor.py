@@ -1,0 +1,125 @@
+"""Versioned subtree-policy map with cluster distribution.
+
+The monitor is deliberately policy-agnostic: it versions and distributes
+opaque policy objects keyed by subtree path.  Interpretation belongs to
+:mod:`repro.core` (Cudele) and the daemons.  Nearest-ancestor resolution
+implements the paper's inheritance rule: "subtrees without policies
+inherit the consistency/durability semantics of the parent".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.sim.engine import Engine, Event
+from repro.sim.network import Network
+
+__all__ = ["Monitor", "PolicyMapEntry"]
+
+#: Approximate serialized size of one policy-map update on the wire.
+POLICY_UPDATE_BYTES = 4096
+
+
+def _normalize(path: str) -> str:
+    if not path.startswith("/"):
+        raise ValueError(f"subtree paths must be absolute: {path!r}")
+    norm = "/" + "/".join(p for p in path.split("/") if p)
+    return norm
+
+
+@dataclass(frozen=True)
+class PolicyMapEntry:
+    """One versioned policy assignment."""
+
+    version: int
+    path: str
+    policy: Any
+
+
+class Monitor:
+    """Manages and distributes the cluster's subtree policy map."""
+
+    def __init__(self, engine: Engine, network: Network, name: str = "mon0"):
+        self.engine = engine
+        self.network = network
+        self.name = name
+        self._policies: Dict[str, Any] = {}
+        self.version = 0
+        self.history: List[PolicyMapEntry] = []
+        #: Daemon endpoint names subscribed to map updates.
+        self.subscribers: List[str] = []
+
+    # -- membership -----------------------------------------------------
+    def subscribe(self, daemon_name: str) -> None:
+        if daemon_name not in self.subscribers:
+            self.subscribers.append(daemon_name)
+
+    def unsubscribe(self, daemon_name: str) -> None:
+        if daemon_name in self.subscribers:
+            self.subscribers.remove(daemon_name)
+
+    # -- policy map updates (process bodies: distribution costs wire time)
+    def set_subtree(
+        self, path: str, policy: Any, src: str = "client"
+    ) -> Generator[Event, None, int]:
+        """Assign ``policy`` to ``path``; distributes to all daemons.
+
+        Returns the new map version.
+        """
+        norm = _normalize(path)
+        # Client -> monitor submission.
+        yield from self.network.send(src, self.name, POLICY_UPDATE_BYTES)
+        self.version += 1
+        self._policies[norm] = policy
+        self.history.append(PolicyMapEntry(self.version, norm, policy))
+        yield from self._distribute()
+        return self.version
+
+    def clear_subtree(
+        self, path: str, src: str = "client"
+    ) -> Generator[Event, None, int]:
+        """Remove the policy on ``path`` (subtree reverts to inherited)."""
+        norm = _normalize(path)
+        yield from self.network.send(src, self.name, POLICY_UPDATE_BYTES)
+        if norm in self._policies:
+            self.version += 1
+            del self._policies[norm]
+            self.history.append(PolicyMapEntry(self.version, norm, None))
+            yield from self._distribute()
+        return self.version
+
+    def _distribute(self) -> Generator[Event, None, None]:
+        sends = [
+            self.engine.process(
+                self.network.send(self.name, daemon, POLICY_UPDATE_BYTES),
+                name=f"policy-update:{daemon}",
+            )
+            for daemon in self.subscribers
+        ]
+        if sends:
+            yield self.engine.all_of(sends)
+
+    # -- resolution ------------------------------------------------------
+    def resolve(self, path: str) -> Optional[Any]:
+        """Policy governing ``path``: nearest ancestor's assignment."""
+        entry = self.resolve_entry(path)
+        return entry[1] if entry else None
+
+    def resolve_entry(self, path: str) -> Optional[Tuple[str, Any]]:
+        """Like :meth:`resolve` but also returns the subtree root path."""
+        norm = _normalize(path)
+        probe = norm
+        while True:
+            if probe in self._policies:
+                return probe, self._policies[probe]
+            if probe == "/":
+                return None
+            probe = probe.rsplit("/", 1)[0] or "/"
+
+    def exact(self, path: str) -> Optional[Any]:
+        return self._policies.get(_normalize(path))
+
+    @property
+    def subtree_paths(self) -> List[str]:
+        return sorted(self._policies)

@@ -1,0 +1,28 @@
+"""RADOS-like replicated object store substrate.
+
+CephFS stores both its metadata journal and its metadata store (directory
+objects) in RADOS.  This package simulates the parts of RADOS that matter
+for Cudele's evaluation:
+
+* :class:`~repro.rados.objects.RadosObject` — a named blob with versioned
+  writes and partial reads.
+* :class:`~repro.rados.osd.OSD` — an object storage daemon with a
+  simulated disk.
+* :class:`~repro.rados.cluster.ObjectStore` — pools, PG-style placement
+  (a deterministic CRUSH-lite hash), primary-copy replication, and the
+  client I/O entry points (``put``/``get``/``read_modify_write``).
+* :class:`~repro.rados.striper.Striper` — stripes a logical byte stream
+  (the journal) across fixed-size objects, giving Global Persist the
+  aggregate bandwidth of all OSDs.
+
+The aggregate-bandwidth effect is what makes Global Persist only ~1.2x
+the cost of Local Persist in the paper's Figure 5, and per-object
+read-modify-write is what makes Nonvolatile Apply ~78x.
+"""
+
+from repro.rados.objects import RadosObject
+from repro.rados.osd import OSD
+from repro.rados.cluster import ObjectStore, Pool, PlacementError
+from repro.rados.striper import Striper
+
+__all__ = ["RadosObject", "OSD", "ObjectStore", "Pool", "PlacementError", "Striper"]

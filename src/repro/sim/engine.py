@@ -1,0 +1,372 @@
+"""Event loop, events and generator-based processes.
+
+The engine implements a classic priority-queue DES.  Simulated processes
+are Python generators that yield :class:`Event` objects; the engine
+resumes a process when the event it is waiting on fires.  Event values
+are sent back into the generator, and failed events raise inside it, so
+simulated code reads like straight-line blocking code::
+
+    def worker(engine):
+        yield Timeout(engine, 1.5)          # sleep 1.5 simulated seconds
+        got = yield store.get()             # block until an item arrives
+        yield AllOf(engine, [e1, e2])       # wait for both
+
+Design notes
+------------
+* The heap is keyed by ``(time, priority, seq)``; ``seq`` is a monotone
+  tie-breaker which makes runs fully deterministic.
+* Events may have multiple waiters (processes and derived events), each
+  notified in subscription order.
+* :class:`Interrupt` supports SimPy-style process interruption, used by
+  the capability-revocation paths in the MDS model.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for violations of engine invariants (e.g. re-triggering)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event lifecycle states.
+_PENDING = 0
+_TRIGGERED = 1  # scheduled on the heap, callbacks not yet run
+_PROCESSED = 2  # callbacks have run
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Events start *pending*; :meth:`succeed` or :meth:`fail` schedules them
+    on the engine's heap, and when the clock reaches their time the engine
+    runs their callbacks (resuming any waiting processes).
+    """
+
+    __slots__ = ("engine", "_state", "_value", "_ok", "callbacks")
+
+    def __init__(self, engine: "Engine"):
+        self.engine = engine
+        self._state = _PENDING
+        self._value: Any = None
+        self._ok = True
+        self.callbacks: list[Callable[["Event"], None]] = []
+
+    # -- inspection ----------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._state != _PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        if self._state == _PENDING:
+            raise SimulationError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._state == _PENDING:
+            raise SimulationError("event not yet triggered")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire successfully after ``delay``."""
+        if self._state != _PENDING:
+            raise SimulationError("event already triggered")
+        self._state = _TRIGGERED
+        self._value = value
+        self._ok = True
+        self.engine._schedule(self, delay)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire as a failure carrying ``exc``."""
+        if self._state != _PENDING:
+            raise SimulationError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._state = _TRIGGERED
+        self._value = exc
+        self._ok = False
+        self.engine._schedule(self, delay)
+        return self
+
+    # -- engine internals ----------------------------------------------
+    def _process_callbacks(self) -> None:
+        self._state = _PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Register ``cb``; runs immediately if the event already fired."""
+        if self._state == _PROCESSED:
+            cb(self)
+        else:
+            self.callbacks.append(cb)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(engine)
+        self.delay = float(delay)
+        self.succeed(value, delay=self.delay)
+
+
+class Process(Event):
+    """A running simulated process wrapping a generator.
+
+    The process itself is an event that fires (with the generator's
+    return value) when the generator finishes, so processes can wait on
+    each other simply by yielding them.
+    """
+
+    __slots__ = ("generator", "name", "_waiting_on")
+
+    def __init__(
+        self,
+        engine: "Engine",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ):
+        super().__init__(engine)
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process body must be a generator, got {generator!r}")
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Kick-start on the next engine step at the current time.
+        init = Event(engine)
+        init.add_callback(self._resume)
+        init.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return self._state == _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        If the process was queued on a resource, its pending request is
+        cancelled so the slot is not granted to a dead waiter.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        target = self._waiting_on
+        if target is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            resource = getattr(target, "resource", None)
+            if resource is not None and not target.triggered:
+                resource.release(target)  # cancel the queued request
+            self._waiting_on = None
+        wake = Event(self.engine)
+        wake.add_callback(lambda ev: self._throw(Interrupt(cause)))
+        wake.succeed()
+
+    # -- stepping --------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if not self.is_alive:
+            return
+        self._waiting_on = None
+        if event._ok:
+            self._step(lambda: self.generator.send(event._value))
+        else:
+            exc = event._value
+            self._step(lambda: self.generator.throw(exc))
+
+    def _throw(self, exc: BaseException) -> None:
+        if not self.is_alive:
+            return
+        self._waiting_on = None
+        self._step(lambda: self.generator.throw(exc))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate as failure
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self.fail(
+                TypeError(
+                    f"process {self.name!r} yielded {target!r}; "
+                    "processes must yield Event instances"
+                )
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class AllOf(Event):
+    """Fires when every child event has fired; value is a list of values.
+
+    Fails as soon as any child fails (with that child's exception).
+    """
+
+    __slots__ = ("_children", "_remaining")
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]):
+        super().__init__(engine)
+        self._children = list(events)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for ev in self._children:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self._state != _PENDING:
+            return
+        if not ev._ok:
+            self.fail(ev._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([c._value for c in self._children])
+
+
+class AnyOf(Event):
+    """Fires when the first child event fires; value is ``(index, value)``."""
+
+    __slots__ = ("_children",)
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]):
+        super().__init__(engine)
+        self._children = list(events)
+        if not self._children:
+            raise ValueError("AnyOf requires at least one event")
+        for idx, ev in enumerate(self._children):
+            ev.add_callback(lambda fired, i=idx: self._on_child(i, fired))
+
+    def _on_child(self, idx: int, ev: Event) -> None:
+        if self._state != _PENDING:
+            return
+        if ev._ok:
+            self.succeed((idx, ev._value))
+        else:
+            self.fail(ev._value)
+
+
+class Engine:
+    """The simulation clock and scheduler.
+
+    Example::
+
+        eng = Engine()
+        def hello():
+            yield Timeout(eng, 3.0)
+            return "done"
+        p = eng.process(hello())
+        eng.run()
+        assert eng.now == 3.0 and p.value == "done"
+    """
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = itertools.count()
+        self.processes_started = 0
+        #: Optional ``hook(t, event)`` called as each event is processed
+        #: (see :mod:`repro.sim.trace`); None keeps the hot loop branch-
+        #: predictable and cheap.
+        self.trace = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- construction helpers -------------------------------------------
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: Optional[str] = None
+    ) -> Process:
+        self.processes_started += 1
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling -------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, (self._now + delay, priority, next(self._seq), event))
+
+    # -- running ----------------------------------------------------------
+    def step(self) -> None:
+        """Advance the clock to, and process, the next scheduled event."""
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        if self.trace is not None:
+            self.trace(when, event)
+        event._process_callbacks()
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or the clock passes ``until``.
+
+        When ``until`` is given the clock is left exactly at ``until``
+        (standard DES semantics), even if no event fires there.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(f"until={until} is in the past (now={self._now})")
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until

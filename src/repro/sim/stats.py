@@ -1,0 +1,164 @@
+"""Measurement primitives used by the benchmark harness.
+
+Figure 2 of the paper plots MDS CPU/network/disk utilization over the
+phases of a kernel compile; Figures 3 and 6 plot throughputs, slowdowns
+and standard deviations.  These recorders collect exactly that: counters,
+(t, value) time series and windowed utilization.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.sim.engine import Engine
+
+__all__ = ["Counter", "TimeSeries", "UtilizationTracker", "StatsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def incr(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only increase")
+        self.value += n
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class TimeSeries:
+    """Append-only series of ``(time, value)`` samples."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def record(self, t: float, value: float) -> None:
+        if self.times and t < self.times[-1]:
+            raise ValueError("time series samples must be appended in time order")
+        self.times.append(t)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def window(self, t0: float, t1: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Samples with ``t0 <= t <= t1`` as numpy arrays."""
+        lo = bisect_left(self.times, t0)
+        hi = bisect_right(self.times, t1)
+        return np.asarray(self.times[lo:hi]), np.asarray(self.values[lo:hi])
+
+    def rate(self, t0: float, t1: float) -> float:
+        """Events per second assuming each sample's value is a count."""
+        if t1 <= t0:
+            return 0.0
+        _, vals = self.window(t0, t1)
+        return float(vals.sum()) / (t1 - t0)
+
+    def mean(self) -> float:
+        return float(np.mean(self.values)) if self.values else 0.0
+
+
+class UtilizationTracker:
+    """Integrates a busy/idle signal to report utilization per window.
+
+    ``set_level`` records the instantaneous busy level (e.g. number of
+    busy CPU cores); utilization over a window is the time integral of
+    the level divided by ``window * capacity``.
+    """
+
+    def __init__(self, engine: Engine, capacity: float = 1.0, name: str = "util"):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self._level = 0.0
+        self._last_t = engine.now
+        self._breakpoints: List[Tuple[float, float]] = [(engine.now, 0.0)]
+
+    def set_level(self, level: float) -> None:
+        if level < 0:
+            raise ValueError("busy level cannot be negative")
+        now = self.engine.now
+        if self._breakpoints and self._breakpoints[-1][0] == now:
+            self._breakpoints[-1] = (now, level)
+        else:
+            self._breakpoints.append((now, level))
+        self._level = level
+
+    def add(self, delta: float) -> None:
+        self.set_level(self._level + delta)
+
+    def utilization(self, t0: float, t1: float) -> float:
+        """Mean busy fraction over ``[t0, t1]``."""
+        if t1 <= t0:
+            return 0.0
+        area = 0.0
+        pts = self._breakpoints
+        # Find the level at t0, then integrate segment by segment.
+        level = 0.0
+        for i, (t, lv) in enumerate(pts):
+            if t <= t0:
+                level = lv
+                continue
+            seg_start = max(t0, pts[i - 1][0] if i else t0)
+            seg_start = max(seg_start, t0)
+            if t >= t1:
+                area += level * (t1 - seg_start)
+                level = None
+                break
+            area += level * (t - seg_start)
+            level = lv
+        if level is not None:
+            last_t = max(t0, pts[-1][0])
+            area += level * (t1 - last_t)
+        return area / ((t1 - t0) * self.capacity)
+
+
+class StatsRegistry:
+    """Namespace of counters and series owned by a simulated daemon."""
+
+    def __init__(self, engine: Engine, owner: str):
+        self.engine = engine
+        self.owner = owner
+        self._counters: Dict[str, Counter] = {}
+        self._series: Dict[str, TimeSeries] = {}
+        self._utils: Dict[str, UtilizationTracker] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(f"{self.owner}.{name}")
+        return self._counters[name]
+
+    def series(self, name: str) -> TimeSeries:
+        if name not in self._series:
+            self._series[name] = TimeSeries(f"{self.owner}.{name}")
+        return self._series[name]
+
+    def utilization(self, name: str, capacity: float = 1.0) -> UtilizationTracker:
+        if name not in self._utils:
+            self._utils[name] = UtilizationTracker(
+                self.engine, capacity=capacity, name=f"{self.owner}.{name}"
+            )
+        return self._utils[name]
+
+    def counters(self) -> Dict[str, int]:
+        return {k: c.value for k, c in self._counters.items()}
+
+    def names(self) -> Iterable[str]:
+        yield from self._counters
+        yield from self._series
+        yield from self._utils

@@ -1,0 +1,82 @@
+"""Event tracing for the DES kernel (debugging aid).
+
+Attach a :class:`Tracer` to an engine to record every processed event
+with its simulated time; summaries group by event kind and process name
+so a stuck or runaway simulation can be diagnosed quickly::
+
+    tracer = Tracer.attach(engine)
+    ...run...
+    print(tracer.summary())
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.sim.engine import Engine, Event, Process, Timeout
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One processed event."""
+
+    t: float
+    kind: str
+    name: Optional[str]
+
+    def __str__(self) -> str:
+        label = f" {self.name}" if self.name else ""
+        return f"[{self.t:.6f}] {self.kind}{label}"
+
+
+class Tracer:
+    """Records processed events; bounded to ``max_records``."""
+
+    def __init__(self, max_records: int = 100_000):
+        if max_records < 1:
+            raise ValueError("max_records must be positive")
+        self.max_records = max_records
+        self.records: List[TraceRecord] = []
+        self.dropped = 0
+
+    @classmethod
+    def attach(cls, engine: Engine, max_records: int = 100_000) -> "Tracer":
+        tracer = cls(max_records=max_records)
+        engine.trace = tracer
+        return tracer
+
+    @staticmethod
+    def detach(engine: Engine) -> None:
+        engine.trace = None
+
+    def __call__(self, t: float, event: Event) -> None:
+        if len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        if isinstance(event, Process):
+            kind, name = "process-end", event.name
+        elif isinstance(event, Timeout):
+            kind, name = "timeout", None
+        else:
+            kind, name = type(event).__name__.lower(), None
+        self.records.append(TraceRecord(t, kind, name))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def by_kind(self) -> Counter:
+        return Counter(r.kind for r in self.records)
+
+    def summary(self) -> str:
+        lines = [f"{len(self.records)} events traced "
+                 f"({self.dropped} dropped)"]
+        for kind, count in self.by_kind().most_common():
+            lines.append(f"  {kind:<14} {count}")
+        return "\n".join(lines)
+
+    def tail(self, n: int = 20) -> List[TraceRecord]:
+        return self.records[-n:]

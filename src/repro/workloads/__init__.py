@@ -1,0 +1,29 @@
+"""Synthetic workloads from the paper's evaluation.
+
+* :mod:`~repro.workloads.createheavy` — N clients each creating files in
+  a private directory (checkpoint-restart / untar pattern; Figures 3a
+  and 6a).
+* :mod:`~repro.workloads.interference` — private-directory creates with
+  an interfering client touching every directory (Figures 3b/3c/6b).
+* :mod:`~repro.workloads.compile_wl` — the untar/configure/make phase
+  structure of a kernel compile (Figure 2's utilization trace).
+"""
+
+from repro.workloads.createheavy import (
+    CreateHeavyResult,
+    parallel_creates_decoupled,
+    parallel_creates_rpc,
+)
+from repro.workloads.interference import InterferenceResult, run_interference
+from repro.workloads.compile_wl import CompilePhase, CompileResult, run_compile
+
+__all__ = [
+    "CreateHeavyResult",
+    "parallel_creates_rpc",
+    "parallel_creates_decoupled",
+    "InterferenceResult",
+    "run_interference",
+    "CompilePhase",
+    "CompileResult",
+    "run_compile",
+]

@@ -1,0 +1,62 @@
+"""Tests for JSON artifact export/import and the bench CLI."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import ExperimentResult, Series
+from repro.bench.report import dump_json, load_json
+
+
+def sample():
+    return ExperimentResult(
+        "figX", "demo", "clients", "speedup",
+        series=[Series("a", [1, 2], [1.0, 2.5], [0.0, 0.1])],
+        notes=["hello"],
+        meta={"scale": "tiny", "ops": 100, "skip_me": object()},
+    )
+
+
+def test_dump_and_load_round_trip(tmp_path):
+    path = dump_json(sample(), tmp_path)
+    assert path.name == "figX.json"
+    loaded = load_json(path)
+    assert loaded.exp_id == "figX"
+    assert loaded.get("a").y == [1.0, 2.5]
+    assert loaded.get("a").yerr == [0.0, 0.1]
+    assert loaded.notes == ["hello"]
+    assert loaded.meta["scale"] == "tiny"
+    assert "skip_me" not in loaded.meta  # non-serializable meta dropped
+
+
+def test_dump_to_explicit_file(tmp_path):
+    path = dump_json(sample(), tmp_path / "custom.json")
+    assert path.name == "custom.json"
+    assert json.loads(path.read_text())["exp_id"] == "figX"
+
+
+def test_cli_writes_artifacts(tmp_path, monkeypatch, capsys):
+    from repro.bench.__main__ import main
+
+    monkeypatch.setenv("REPRO_SCALE", "tiny")
+    rc = main(["--json", str(tmp_path), "fig6c"])
+    assert rc == 0
+    artifact = tmp_path / "fig6c.json"
+    assert artifact.exists()
+    loaded = load_json(artifact)
+    assert loaded.exp_id == "fig6c"
+    out = capsys.readouterr().out
+    assert "fig6c" in out
+
+
+def test_cli_rejects_unknown_experiment(monkeypatch, capsys):
+    from repro.bench.__main__ import main
+
+    monkeypatch.setenv("REPRO_SCALE", "tiny")
+    assert main(["not_an_experiment"]) == 2
+
+
+def test_cli_json_requires_dir(capsys):
+    from repro.bench.__main__ import main
+
+    assert main(["--json"]) == 2

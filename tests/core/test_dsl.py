@@ -1,0 +1,109 @@
+"""Tests for the composition DSL."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dsl import DslError, parse_composition
+
+KNOWN = {
+    "rpcs", "append_client_journal", "stream", "volatile_apply",
+    "nonvolatile_apply", "local_persist", "global_persist",
+}
+
+
+def test_single_mechanism():
+    plan = parse_composition("rpcs")
+    assert plan.stages == (("rpcs",),)
+    assert plan.mechanisms == ["rpcs"]
+    assert plan.workload_mode == "rpc"
+
+
+def test_serial_stages():
+    plan = parse_composition("append_client_journal+volatile_apply")
+    assert plan.stages == (("append_client_journal",), ("volatile_apply",))
+    assert plan.workload_mode == "decoupled"
+
+
+def test_parallel_group():
+    plan = parse_composition("global_persist||volatile_apply")
+    assert plan.stages == (("global_persist", "volatile_apply"),)
+
+
+def test_mixed_serial_parallel():
+    plan = parse_composition(
+        "append_client_journal+global_persist||volatile_apply+stream"
+    )
+    assert plan.stages == (
+        ("append_client_journal",),
+        ("global_persist", "volatile_apply"),
+        ("stream",),
+    )
+
+
+def test_whitespace_and_case_tolerated():
+    plan = parse_composition("  RPCS + Local_Persist ")
+    assert plan.stages == (("rpcs",), ("local_persist",))
+
+
+def test_unknown_mechanism_rejected():
+    with pytest.raises(DslError):
+        parse_composition("rpcs+teleport")
+
+
+def test_empty_composition_rejected():
+    with pytest.raises(DslError):
+        parse_composition("")
+    with pytest.raises(DslError):
+        parse_composition("   ")
+
+
+def test_empty_stage_rejected():
+    with pytest.raises(DslError):
+        parse_composition("rpcs++stream")
+    with pytest.raises(DslError):
+        parse_composition("rpcs||")
+
+
+def test_invalid_name_rejected():
+    with pytest.raises(DslError):
+        parse_composition("123bad")
+
+
+def test_completion_stages_drop_workload_phase():
+    plan = parse_composition("append_client_journal+local_persist+volatile_apply")
+    assert plan.completion_stages == [["local_persist"], ["volatile_apply"]]
+    plan = parse_composition("rpcs+stream")
+    assert plan.completion_stages == []
+
+
+def test_completion_stages_keep_parallel_structure():
+    plan = parse_composition(
+        "append_client_journal+global_persist||volatile_apply"
+    )
+    assert plan.completion_stages == [["global_persist", "volatile_apply"]]
+
+
+def test_canonical_round_trip():
+    text = "append_client_journal+global_persist||volatile_apply"
+    assert parse_composition(text).canonical() == text
+
+
+def test_mechanisms_deduplicated_in_order():
+    plan = parse_composition("rpcs+rpcs+stream")
+    assert plan.mechanisms == ["rpcs", "stream"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    stages=st.lists(
+        st.lists(st.sampled_from(sorted(KNOWN)), min_size=1, max_size=3),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_property_canonical_parse_round_trip(stages):
+    text = "+".join("||".join(group) for group in stages)
+    plan = parse_composition(text)
+    assert parse_composition(plan.canonical()).stages == plan.stages
+    assert plan.stages == tuple(tuple(g) for g in stages)

@@ -1,0 +1,93 @@
+"""Tests for embeddable policies (paper §VII future work)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core.namespace_api import Cudele, EmbeddingError
+from repro.core.policy import SubtreePolicy
+
+
+@pytest.fixture
+def cluster():
+    return Cluster()
+
+
+@pytest.fixture
+def cudele(cluster):
+    return Cudele(cluster)
+
+
+@pytest.fixture
+def posix_home(cluster, cudele):
+    return cluster.run(cudele.decouple("/home", SubtreePolicy()))
+
+
+def test_ramdisk_under_posix_allowed(cluster, cudele, posix_home):
+    """The paper's example: strong consistency, relaxed durability."""
+    ramdisk = SubtreePolicy(consistency="rpcs", durability="none")
+    ns = cluster.run(cudele.embed(posix_home, "/home/ramdisk", ramdisk))
+    assert ns.policy.durability == "none"
+    assert cudele.policy_of("/home/ramdisk/x") is ns.policy
+    assert cudele.policy_of("/home/other") is posix_home.policy
+
+
+def test_weaker_consistency_rejected(cluster, cudele, posix_home):
+    batch = SubtreePolicy(
+        consistency="append_client_journal+volatile_apply",
+        durability="local_persist",
+    )
+    with pytest.raises(EmbeddingError):
+        cluster.run(cudele.embed(posix_home, "/home/batch", batch))
+
+
+def test_path_must_be_inside_parent(cluster, cudele, posix_home):
+    with pytest.raises(EmbeddingError):
+        cluster.run(
+            cudele.embed(posix_home, "/elsewhere", SubtreePolicy())
+        )
+    # prefix trickery is not containment
+    with pytest.raises(EmbeddingError):
+        cluster.run(
+            cudele.embed(posix_home, "/homestead", SubtreePolicy())
+        )
+
+
+def test_equal_consistency_allowed(cluster, cudele):
+    weak_parent = cluster.run(
+        cudele.decouple(
+            "/proj",
+            SubtreePolicy(
+                consistency="append_client_journal+volatile_apply",
+                durability="global_persist",
+            ),
+        )
+    )
+    child = SubtreePolicy(
+        consistency="append_client_journal+volatile_apply",
+        durability="none",
+    )
+    ns = cluster.run(cudele.embed(weak_parent, "/proj/scratch", child))
+    assert ns.policy.durability == "none"
+
+
+def test_stronger_child_allowed(cluster, cudele):
+    invisible_parent = cluster.run(
+        cudele.decouple(
+            "/lab",
+            SubtreePolicy(consistency="append_client_journal",
+                          durability="none"),
+        )
+    )
+    strong_child = SubtreePolicy()  # rpcs+stream
+    ns = cluster.run(cudele.embed(invisible_parent, "/lab/safe", strong_child))
+    assert not ns.policy.is_decoupled
+
+
+def test_embed_accepts_policy_text(cluster, cudele, posix_home):
+    ns = cluster.run(
+        cudele.embed(
+            posix_home, "/home/tmp",
+            'consistency: "rpcs"\ndurability: "none"\n',
+        )
+    )
+    assert ns.policy.durability == "none"

@@ -1,0 +1,114 @@
+"""Tests for namespace sync (Figure 6c machinery)."""
+
+import pytest
+
+from repro import calibration as cal
+from repro.cluster import Cluster
+from repro.core.sync import NamespaceSyncStats, sync_pause_s, synced_workload
+from repro.mds.server import MDSConfig, Request
+
+
+def make_cluster(materialize=False):
+    return Cluster(mds_config=MDSConfig(materialize=materialize))
+
+
+def test_sync_pause_components():
+    batch = 11_000  # one second of appends
+    p = sync_pause_s(batch, 1.0)
+    expected = (
+        cal.FORK_BASE_S
+        + batch * 2560 / cal.FORK_COPY_BPS
+        + cal.SYNC_CONTENTION_PER_S2
+    )
+    assert p == pytest.approx(expected)
+
+
+def test_baseline_run_no_syncs():
+    cluster = make_cluster()
+    d = cluster.new_decoupled_client()
+    stats = cluster.run(synced_workload(cluster, d, "/sub", 50_000, None))
+    assert stats.syncs == 0
+    assert stats.overhead == pytest.approx(0.0, abs=1e-6)
+    assert stats.run_time_s == pytest.approx(stats.baseline_time_s, rel=1e-6)
+
+
+def test_validation():
+    cluster = make_cluster()
+    d = cluster.new_decoupled_client()
+    with pytest.raises(ValueError):
+        cluster.run(synced_workload(cluster, d, "/sub", 0, None))
+    with pytest.raises(ValueError):
+        cluster.run(synced_workload(cluster, d, "/sub", 100, -1.0))
+
+
+def test_one_second_interval_overhead_near_paper():
+    """~9% overhead when syncing every second (paper §V-B3)."""
+    cluster = make_cluster()
+    d = cluster.new_decoupled_client()
+    stats = cluster.run(synced_workload(cluster, d, "/sub", 200_000, 1.0))
+    assert stats.overhead == pytest.approx(0.09, abs=0.02)
+
+
+def test_ten_second_interval_is_cheaper():
+    """~2% overhead at the optimal 10 s interval."""
+    cluster = make_cluster()
+    d = cluster.new_decoupled_client()
+    stats = cluster.run(synced_workload(cluster, d, "/sub", 400_000, 10.0))
+    assert stats.overhead == pytest.approx(0.02, abs=0.01)
+
+
+def test_u_shape_one_worse_than_ten_better_than_twentyfive():
+    def overhead(interval):
+        cluster = make_cluster()
+        d = cluster.new_decoupled_client()
+        return cluster.run(
+            synced_workload(cluster, d, "/sub", 1_000_000, interval)
+        ).overhead
+
+    o1, o10, o25 = overhead(1.0), overhead(10.0), overhead(25.0)
+    assert o1 > o10
+    assert o25 > o10
+
+
+def test_partial_results_visible_at_mds():
+    """End-users checking progress see synced batches (read-while-writing)."""
+    cluster = make_cluster()
+    d = cluster.new_decoupled_client()
+    stats = cluster.run(synced_workload(cluster, d, "/sub", 100_000, 2.0))
+    assert stats.syncs >= 3
+    done = cluster.mds.submit(Request("ls", "/sub", 999))
+    cluster.run()
+    visible = done.value.value
+    assert visible == stats.synced_updates
+    assert 0 < visible <= 100_000
+
+
+def test_materialized_sync_ships_real_events():
+    cluster = Cluster()  # materialize=True
+    cluster.mds.mdstore.mkdir("/sub")
+    d = cluster.new_decoupled_client()
+    rng = cluster.mds.mdstore.inotable.provision(d.client_id, 100)
+    d.assign_inodes(rng)
+    cluster.run(d.create_many("/sub", [f"f{i}" for i in range(30)]))
+    # manually drive one sync batch via the workload helper on top of
+    # the already-journaled events: events drain to the MDS
+    from repro.core.sync import _ship_batch
+
+    cluster.run(_ship_batch(cluster, d, "/sub", 30))
+    assert cluster.mds.mdstore.exists("/sub/f0")
+    assert len(d.journal) == 0
+
+
+def test_stats_largest_batch_bytes():
+    s = NamespaceSyncStats(total_updates=10, interval_s=1.0, largest_batch=100)
+    assert s.largest_batch_bytes == 100 * 2560
+
+
+def test_paper_25s_batch_size():
+    """At a 25 s interval each sync writes ~278K updates (~678 MB)."""
+    cluster = make_cluster()
+    d = cluster.new_decoupled_client()
+    stats = cluster.run(synced_workload(cluster, d, "/sub", 1_000_000, 25.0))
+    assert stats.largest_batch == pytest.approx(275_000, rel=0.05)
+    assert stats.largest_batch_bytes == pytest.approx(678e6, rel=0.08)
+    assert 3 <= stats.syncs <= 4

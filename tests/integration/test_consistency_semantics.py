@@ -1,0 +1,123 @@
+"""Integration: do the consistency levels mean what they claim?
+
+Paper §III-B: 'invisible' — the system never merges (middleware's
+problem); 'weak' — updates merge at some future time; 'strong' —
+updates are seen immediately by all clients.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core.namespace_api import Cudele
+from repro.core.policy import SubtreePolicy
+from repro.mds.server import Request
+
+
+def make(cluster, consistency, durability):
+    cudele = Cudele(cluster)
+    return cudele, cluster.run(
+        cudele.decouple(
+            "/sub",
+            SubtreePolicy(
+                consistency=consistency,
+                durability=durability,
+                allocated_inodes=1000,
+            ),
+        )
+    )
+
+
+def observed(cluster, path):
+    done = cluster.mds.submit(Request("ls", path, 999))
+    cluster.run()
+    return done.value.value if done.value.ok else []
+
+
+def test_strong_updates_visible_immediately():
+    cluster = Cluster()
+    _, ns = make(cluster, "rpcs", "stream")
+    cluster.run(ns.create_many(["a"]))
+    assert observed(cluster, "/sub") == ["a"]
+
+
+def test_invisible_updates_never_merge():
+    cluster = Cluster()
+    _, ns = make(cluster, "append_client_journal", "local_persist")
+    cluster.run(ns.create_many(["a", "b"]))
+    assert observed(cluster, "/sub") == []
+    cluster.run(ns.finalize())  # persist only: still not merged
+    assert observed(cluster, "/sub") == []
+    assert ns.pending_updates() == 2  # the journal is retained
+
+
+def test_weak_updates_appear_after_merge():
+    cluster = Cluster()
+    _, ns = make(cluster, "append_client_journal+volatile_apply", "none")
+    cluster.run(ns.create_many(["a", "b"]))
+    assert observed(cluster, "/sub") == []
+    cluster.run(ns.finalize())
+    assert observed(cluster, "/sub") == ["a", "b"]
+    assert ns.pending_updates() == 0
+
+
+def test_second_client_reads_consistent_after_merge():
+    cluster = Cluster()
+    _, ns = make(cluster, "append_client_journal+volatile_apply", "none")
+    cluster.run(ns.create_many(["result.dat"]))
+    other = cluster.new_client()
+    assert not cluster.run(other.stat("/sub/result.dat")).ok
+    cluster.run(ns.finalize())
+    st = cluster.run(other.stat("/sub/result.dat"))
+    assert st.ok and st.value.is_file
+
+
+def test_merge_priority_decoupled_wins_over_interferer():
+    """§III-C allow semantics: 'the computation from the decoupled
+    namespace will take priority at merge time'."""
+    cluster = Cluster()
+    _, ns = make(cluster, "append_client_journal+volatile_apply", "none")
+    cluster.run(ns.create_many(["out"]))
+    # An interfering client writes the same name first (allow policy).
+    interferer = cluster.new_client()
+    resp = cluster.run(interferer.create("/sub/out"))
+    assert resp.ok
+    interferer_ino = cluster.mds.mdstore.resolve("/sub/out").ino
+    cluster.run(ns.finalize())
+    final_ino = cluster.mds.mdstore.resolve("/sub/out").ino
+    assert final_ino != interferer_ino
+    assert final_ino == ns.dclient.ino_range.start
+
+
+def test_retarget_hdfs_to_cephfs_scenario():
+    """§VII: 'the administrator can change the semantics of the HDFS
+    subtree into a CephFS subtree' without moving data."""
+    cluster = Cluster()
+    cudele = Cudele(cluster)
+    hdfs_like = SubtreePolicy(
+        consistency="append_client_journal+volatile_apply",
+        durability="global_persist",
+        allocated_inodes=100,
+    )
+    ns = cluster.run(cudele.decouple("/warehouse", hdfs_like))
+    cluster.run(ns.create_many(["part-0000", "part-0001"]))
+    ns2 = cluster.run(cudele.retarget(ns, SubtreePolicy()))
+    # Results became strongly consistent without re-writing the job.
+    assert observed(cluster, "/warehouse") == ["part-0000", "part-0001"]
+    assert ns2.policy.workload_mode == "rpc"
+    # And subsequent writes go through RPCs, visible at once.
+    cluster.run(ns2.create_many(["part-0002"]))
+    assert "part-0002" in observed(cluster, "/warehouse")
+
+
+def test_subtrees_do_not_interfere_with_global_namespace():
+    """Other parts of the namespace keep POSIX behaviour while a
+    decoupled job runs next door."""
+    cluster = Cluster()
+    _, ns = make(cluster, "append_client_journal", "none")
+    home = cluster.new_client()
+    cluster.run(home.mkdir("/home"))
+    cluster.run(ns.create_many(500))  # counted decoupled work
+
+    cluster.run(home.create_many("/home", ["doc"]))
+    assert observed(cluster, "/home") == ["doc"]
+    assert cluster.mon.resolve("/home") is None

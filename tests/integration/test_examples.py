@@ -1,0 +1,44 @@
+"""Every example script must run cleanly end to end."""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    p for p in (Path(__file__).parents[2] / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "checkpoint_restart", "shared_namespace",
+            "progress_watcher", "interference_isolation"} <= names
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    mod = runpy.run_path(str(script))
+    mod["main"]()
+    out = capsys.readouterr().out
+    assert len(out.splitlines()) >= 5  # produced a real report
+
+
+def test_quickstart_output_mentions_merge(capsys):
+    script = next(p for p in EXAMPLES if p.stem == "quickstart")
+    runpy.run_path(str(script))["main"]()
+    out = capsys.readouterr().out
+    assert "visible at the MDS yet? False" in out
+    assert "visible at the MDS now? True" in out
+    assert "volatile_apply" in out
+
+
+def test_checkpoint_restart_reports_speedup(capsys):
+    script = next(p for p in EXAMPLES if p.stem == "checkpoint_restart")
+    runpy.run_path(str(script))["main"]()
+    out = capsys.readouterr().out
+    assert "speedup:" in out
+    assert "crash lost" in out
+    assert "crash recovered" in out

@@ -1,0 +1,174 @@
+"""Codec tests: round-trips, corruption detection, recovery semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.journal.events import EventType, JournalEvent
+from repro.journal.format import JOURNAL_MAGIC, JournalCodec, JournalFormatError
+
+
+def ev(path="/f", op=EventType.CREATE, **kw):
+    return JournalEvent(op, path, **kw)
+
+
+def test_single_event_round_trip():
+    e = ev("/dir/file", ino=42, mode=0o755, uid=1000, gid=100, mtime=12.5,
+           seq=7, client_id=3)
+    data = JournalCodec.encode_event(e)
+    decoded, nxt = JournalCodec.decode_event(data)
+    assert decoded == e
+    assert nxt == len(data)
+
+
+def test_rename_round_trip():
+    e = ev("/a", op=EventType.RENAME, target_path="/b/c")
+    decoded, _ = JournalCodec.decode_event(JournalCodec.encode_event(e))
+    assert decoded.target_path == "/b/c"
+
+
+def test_stream_round_trip_many():
+    events = [ev(f"/d/f{i}", ino=i, seq=i + 1) for i in range(50)]
+    data = JournalCodec.encode_stream(events)
+    assert data.startswith(JOURNAL_MAGIC)
+    assert JournalCodec.decode_stream(data) == events
+
+
+def test_empty_stream():
+    data = JournalCodec.encode_stream([])
+    assert JournalCodec.decode_stream(data) == []
+
+
+def test_bad_magic_rejected():
+    data = b"NOTMAGIC" + b"\x00" * 16
+    with pytest.raises(JournalFormatError):
+        JournalCodec.decode_stream(data)
+
+
+def test_short_stream_rejected():
+    with pytest.raises(JournalFormatError):
+        JournalCodec.decode_stream(b"xx")
+
+
+def test_bad_version_rejected():
+    data = bytearray(JournalCodec.encode_stream([]))
+    data[8] = 99  # version field
+    with pytest.raises(JournalFormatError):
+        JournalCodec.decode_stream(bytes(data))
+
+
+def test_truncated_tail_strict_raises():
+    events = [ev(f"/f{i}") for i in range(3)]
+    data = JournalCodec.encode_stream(events)
+    cut = data[:-5]
+    with pytest.raises(JournalFormatError):
+        JournalCodec.decode_stream(cut)
+
+
+def test_truncated_tail_recovery_returns_prefix():
+    events = [ev(f"/f{i}", seq=i) for i in range(3)]
+    data = JournalCodec.encode_stream(events)
+    cut = data[:-5]
+    recovered = JournalCodec.decode_stream(cut, tolerate_truncation=True)
+    assert recovered == events[:2]
+
+
+def test_corrupt_body_detected_by_crc():
+    events = [ev("/good"), ev("/bad"), ev("/after")]
+    data = bytearray(JournalCodec.encode_stream(events))
+    # Flip a byte inside the second event's path.
+    idx = data.find(b"/bad")
+    data[idx + 1] ^= 0xFF
+    with pytest.raises(JournalFormatError):
+        JournalCodec.decode_stream(bytes(data))
+    recovered = JournalCodec.decode_stream(bytes(data), tolerate_truncation=True)
+    assert [e.path for e in recovered] == ["/good"]
+
+
+def test_append_events_to_existing_stream():
+    first = JournalCodec.encode_stream([ev("/one")])
+    combined = JournalCodec.append_events(first, [ev("/two")])
+    assert [e.path for e in JournalCodec.decode_stream(combined)] == ["/one", "/two"]
+
+
+def test_append_events_to_empty_creates_header():
+    data = JournalCodec.append_events(b"", [ev("/x")])
+    assert data.startswith(JOURNAL_MAGIC)
+    assert len(JournalCodec.decode_stream(data)) == 1
+
+
+def test_overlong_path_rejected():
+    with pytest.raises(JournalFormatError):
+        JournalCodec.encode_event(ev("/" + "a" * 70000))
+
+
+def test_unicode_paths_round_trip():
+    e = ev("/数据/ファイル-β")
+    decoded, _ = JournalCodec.decode_event(JournalCodec.encode_event(e))
+    assert decoded.path == "/数据/ファイル-β"
+
+
+_paths = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",), blacklist_characters="/\x00"),
+    min_size=1,
+    max_size=30,
+).map(lambda s: "/" + s)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from([EventType.CREATE, EventType.MKDIR, EventType.UNLINK,
+                             EventType.SETATTR]),
+            _paths,
+            st.integers(min_value=0, max_value=2**40),
+            st.integers(min_value=0, max_value=0o7777),
+            st.floats(min_value=0, max_value=1e9, allow_nan=False),
+        ),
+        max_size=20,
+    )
+)
+def test_property_stream_round_trip(ops):
+    events = [
+        JournalEvent(op, path, ino=ino, mode=mode, mtime=mtime, seq=i)
+        for i, (op, path, ino, mode, mtime) in enumerate(ops)
+    ]
+    assert JournalCodec.decode_stream(JournalCodec.encode_stream(events)) == events
+
+
+@settings(max_examples=40, deadline=None)
+@given(cut=st.integers(min_value=0, max_value=200), n=st.integers(1, 6))
+def test_property_any_truncation_recovers_prefix(cut, n):
+    """Truncating anywhere yields a clean prefix of the original events."""
+    events = [ev(f"/f{i}", seq=i) for i in range(n)]
+    data = JournalCodec.encode_stream(events)
+    cut_at = max(JournalCodec.header_size(), len(data) - cut)
+    recovered = JournalCodec.decode_stream(data[:cut_at], tolerate_truncation=True)
+    assert recovered == events[: len(recovered)]
+
+
+@settings(max_examples=40, deadline=None)
+@given(garbage=st.binary(min_size=0, max_size=60), n=st.integers(0, 5))
+def test_property_garbage_tail_never_corrupts_prefix(garbage, n):
+    """Appending arbitrary garbage after a valid stream never loses or
+    alters the already-written events under recovery decoding (the CRC
+    guards each event)."""
+    events = [ev(f"/f{i}", seq=i) for i in range(n)]
+    data = JournalCodec.encode_stream(events) + garbage
+    recovered = JournalCodec.decode_stream(data, tolerate_truncation=True)
+    assert recovered[: len(events)] == events
+
+
+@settings(max_examples=40, deadline=None)
+@given(noise=st.binary(min_size=12, max_size=80))
+def test_property_random_bytes_never_crash_decoder(noise):
+    """Random input either raises JournalFormatError (strict) or decodes
+    to a (possibly empty) event list (tolerant) — never anything else."""
+    try:
+        JournalCodec.decode_stream(noise)
+    except JournalFormatError:
+        pass
+    data = JOURNAL_MAGIC + b"\x01\x00\x00\x00" + noise
+    events = JournalCodec.decode_stream(data, tolerate_truncation=True)
+    assert isinstance(events, list)

@@ -1,0 +1,106 @@
+"""Tests for the journal tool (export / import / erase / apply)."""
+
+import pytest
+
+from repro.journal.events import EventType, JournalEvent
+from repro.journal.format import JournalFormatError
+from repro.journal.tool import JournalTool
+
+
+def ev(path, op=EventType.CREATE, seq=0, **kw):
+    return JournalEvent(op, path, seq=seq, **kw)
+
+
+class RecordingApplier:
+    def __init__(self, fail_paths=()):
+        self.applied = []
+        self.fail_paths = set(fail_paths)
+
+    def apply_event(self, event):
+        if event.path in self.fail_paths:
+            raise FileExistsError(event.path)
+        self.applied.append(event.path)
+
+
+def test_export_import_round_trip():
+    events = [ev(f"/f{i}", seq=i) for i in range(5)]
+    data = JournalTool.export(events)
+    assert JournalTool.import_(data) == events
+
+
+def test_import_strict_on_damage():
+    data = JournalTool.export([ev("/a")])[:-3]
+    with pytest.raises(JournalFormatError):
+        JournalTool.import_(data)
+    # but inspect tolerates it
+    assert JournalTool.inspect(data) == []
+
+
+def test_inspect_reads_prefix_of_damaged_stream():
+    data = JournalTool.export([ev("/a", seq=1), ev("/b", seq=2)])
+    cut = data[:-4]
+    assert [e.path for e in JournalTool.inspect(cut)] == ["/a"]
+
+
+def test_erase_by_op():
+    events = [ev("/f"), ev("/d", op=EventType.MKDIR), ev("/g")]
+    kept = JournalTool.erase(events, ops=[EventType.MKDIR])
+    assert [e.path for e in kept] == ["/f", "/g"]
+
+
+def test_erase_by_predicate():
+    events = [ev("/keep/x"), ev("/drop/y"), ev("/keep/z")]
+    kept = JournalTool.erase(events, predicate=lambda e: e.path.startswith("/drop"))
+    assert [e.path for e in kept] == ["/keep/x", "/keep/z"]
+
+
+def test_erase_combined():
+    events = [ev("/a"), ev("/b", op=EventType.UNLINK), ev("/c")]
+    kept = JournalTool.erase(
+        events, ops=[EventType.UNLINK], predicate=lambda e: e.path == "/c"
+    )
+    assert [e.path for e in kept] == ["/a"]
+
+
+def test_erase_range():
+    events = [ev(f"/f{i}", seq=i) for i in range(10)]
+    kept = JournalTool.erase_range(events, 3, 6)
+    assert [e.seq for e in kept] == [0, 1, 2, 7, 8, 9]
+    with pytest.raises(ValueError):
+        JournalTool.erase_range(events, 5, 2)
+
+
+def test_apply_in_order():
+    applier = RecordingApplier()
+    events = [ev("/1", seq=1), ev("/2", seq=2)]
+    n = JournalTool.apply(events, applier)
+    assert n == 2
+    assert applier.applied == ["/1", "/2"]
+
+
+def test_apply_skips_non_mutations():
+    applier = RecordingApplier()
+    events = [ev("/1"), JournalEvent(EventType.NOOP, "/"), ev("/2")]
+    assert JournalTool.apply(events, applier) == 2
+
+
+def test_apply_strict_propagates_conflicts():
+    applier = RecordingApplier(fail_paths={"/dup"})
+    with pytest.raises(FileExistsError):
+        JournalTool.apply([ev("/ok"), ev("/dup"), ev("/never")], applier)
+    assert applier.applied == ["/ok"]
+
+
+def test_apply_skip_errors_continues():
+    applier = RecordingApplier(fail_paths={"/dup"})
+    n = JournalTool.apply(
+        [ev("/ok"), ev("/dup"), ev("/after")], applier, skip_errors=True
+    )
+    assert n == 2
+    assert applier.applied == ["/ok", "/after"]
+
+
+def test_magic_check():
+    good = JournalTool.export([])
+    assert JournalTool.header_ok(good)
+    assert not JournalTool.header_ok(b"garbagegarbage00")

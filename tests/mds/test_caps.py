@@ -1,0 +1,112 @@
+"""Tests for the capability state machine."""
+
+from repro.mds.caps import CapState, CapTracker
+
+
+def test_first_writer_gets_exclusive_single_rpc():
+    t = CapTracker()
+    out = t.write_access(10, client_id=1)
+    assert out.rpcs == 1 and not out.revoked
+    assert t.state_of(10) is CapState.EXCLUSIVE
+    assert t.holder_of(10) == 1
+    assert t.grants == 1
+
+
+def test_holder_keeps_single_rpc():
+    t = CapTracker()
+    t.write_access(10, 1)
+    out = t.write_access(10, 1)
+    assert out.rpcs == 1 and not out.revoked
+
+
+def test_second_writer_revokes_and_pays_lookup():
+    t = CapTracker()
+    t.write_access(10, 1)
+    out = t.write_access(10, 2)
+    assert out.rpcs == 2 and out.revoked
+    assert t.state_of(10) is CapState.SHARED
+    assert t.revocations == 1
+
+
+def test_shared_dir_costs_everyone_two_rpcs():
+    t = CapTracker()
+    t.write_access(10, 1)
+    t.write_access(10, 2)
+    out1 = t.write_access(10, 1)
+    out2 = t.write_access(10, 2)
+    assert out1.rpcs == 2 and not out1.revoked
+    assert out2.rpcs == 2 and not out2.revoked
+    assert t.revocations == 1  # only the transition revokes
+
+
+def test_shared_is_sticky_while_writers_remain():
+    t = CapTracker()
+    t.write_access(10, 1)
+    t.write_access(10, 2)
+    for _ in range(5):
+        assert t.write_access(10, 1).rpcs == 2
+
+
+def test_can_cache_only_exclusive_holder():
+    t = CapTracker()
+    t.write_access(10, 1)
+    assert t.can_cache(10, 1)
+    assert not t.can_cache(10, 2)
+    t.write_access(10, 2)
+    assert not t.can_cache(10, 1)
+
+
+def test_read_access_cached_is_free():
+    t = CapTracker()
+    t.write_access(10, 1)
+    assert t.read_access(10, 1).rpcs == 0
+    assert t.read_access(10, 2).rpcs == 1
+
+
+def test_read_access_never_revokes():
+    t = CapTracker()
+    t.write_access(10, 1)
+    out = t.read_access(10, 2)
+    assert not out.revoked
+    assert t.state_of(10) is CapState.EXCLUSIVE
+
+
+def test_release_holder_unhelds_or_shares():
+    t = CapTracker()
+    t.write_access(10, 1)
+    t.release(10, 1)
+    assert t.state_of(10) is CapState.UNHELD
+    # next writer becomes exclusive again
+    assert t.write_access(10, 2).rpcs == 1
+
+
+def test_release_unknown_dir_noop():
+    t = CapTracker()
+    t.release(99, 1)  # no error
+
+
+def test_quiesce_regrants_to_lone_writer():
+    t = CapTracker()
+    t.write_access(10, 1)
+    t.write_access(10, 2)  # shared now
+    t.release(10, 2)
+    t.quiesce(10)
+    assert t.state_of(10) is CapState.EXCLUSIVE
+    assert t.holder_of(10) == 1
+    assert t.write_access(10, 1).rpcs == 1
+
+
+def test_quiesce_empty_dir_unhelds():
+    t = CapTracker()
+    t.write_access(10, 1)
+    t.release(10, 1)
+    t.quiesce(10)
+    assert t.state_of(10) is CapState.UNHELD
+    t.quiesce(99)  # unknown: noop
+
+
+def test_tracked_dirs_counts():
+    t = CapTracker()
+    t.write_access(1, 1)
+    t.write_access(2, 1)
+    assert t.tracked_dirs == 2

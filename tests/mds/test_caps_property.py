@@ -1,0 +1,83 @@
+"""Property-based invariants of the capability state machine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mds.caps import CapState, CapTracker
+
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["write", "read", "release", "quiesce"]),
+        st.integers(min_value=1, max_value=4),   # client
+        st.integers(min_value=10, max_value=12),  # dir ino
+    ),
+    max_size=60,
+)
+
+
+def apply_ops(ops):
+    t = CapTracker()
+    for op, client, dir_ino in ops:
+        if op == "write":
+            t.write_access(dir_ino, client)
+        elif op == "read":
+            t.read_access(dir_ino, client)
+        elif op == "release":
+            t.release(dir_ino, client)
+        else:
+            t.quiesce(dir_ino)
+    return t
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops=_ops)
+def test_exclusive_always_has_exactly_one_holder(ops):
+    t = apply_ops(ops)
+    for dir_ino, caps in t._dirs.items():
+        if caps.state is CapState.EXCLUSIVE:
+            assert caps.holder is not None
+            assert caps.holder in caps.writers or not caps.writers
+        if caps.state is CapState.SHARED:
+            assert caps.holder is None
+        if caps.state is CapState.UNHELD:
+            assert caps.holder is None
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops=_ops)
+def test_rpc_count_always_one_or_two(ops):
+    t = CapTracker()
+    for op, client, dir_ino in ops:
+        if op == "write":
+            out = t.write_access(dir_ino, client)
+            assert out.rpcs in (1, 2)
+        elif op == "read":
+            out = t.read_access(dir_ino, client)
+            assert out.rpcs in (0, 1)
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops=_ops)
+def test_revocations_never_exceed_write_transitions(ops):
+    t = apply_ops(ops)
+    writes = sum(1 for op, _, _ in ops if op == "write")
+    assert t.revocations <= writes
+    assert t.grants <= writes + sum(1 for op, _, _ in ops if op == "quiesce")
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_ops)
+def test_sole_writer_always_gets_one_rpc_after_quiesce(ops):
+    """After everyone else releases and the dir quiesces, the remaining
+    writer regains the 1-RPC fast path."""
+    t = apply_ops(ops)
+    dir_ino = 10
+    t.write_access(dir_ino, 1)
+    for other in (2, 3, 4):
+        t.release(dir_ino, other)
+    t.release(dir_ino, 1)
+    t.write_access(dir_ino, 1)
+    for other in (2, 3, 4):
+        t.release(dir_ino, other)
+    t.quiesce(dir_ino)
+    assert t.write_access(dir_ino, 1).rpcs == 1

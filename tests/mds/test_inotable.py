@@ -1,0 +1,87 @@
+"""Tests for inode allocation and client provisioning."""
+
+import pytest
+
+from repro.mds.inotable import InoRange, InoTable
+
+
+def test_range_validation():
+    with pytest.raises(ValueError):
+        InoRange(0, 5)
+    with pytest.raises(ValueError):
+        InoRange(5, 0)
+
+
+def test_range_membership():
+    r = InoRange(100, 10)
+    assert 100 in r and 109 in r
+    assert 99 not in r and 110 not in r
+    assert r.end == 110
+
+
+def test_table_first_free_validation():
+    with pytest.raises(ValueError):
+        InoTable(first_free=1)
+
+
+def test_allocate_monotone_unique():
+    t = InoTable()
+    a, b, c = t.allocate(), t.allocate(), t.allocate()
+    assert a < b < c
+    assert t.is_consumed(a)
+
+
+def test_provision_reserves_disjoint_ranges():
+    t = InoTable()
+    r1 = t.provision(client_id=1, count=100)
+    r2 = t.provision(client_id=2, count=100)
+    assert r1.end <= r2.start
+    nxt = t.allocate()
+    assert nxt >= r2.end
+
+
+def test_provision_validation():
+    t = InoTable()
+    with pytest.raises(ValueError):
+        t.provision(1, 0)
+
+
+def test_owner_of():
+    t = InoTable()
+    r = t.provision(client_id=7, count=10)
+    assert t.owner_of(r.start) == 7
+    assert t.owner_of(r.start + 9) == 7
+    assert t.owner_of(r.end) is None
+
+
+def test_ranges_for_accumulates():
+    t = InoTable()
+    t.provision(1, 10)
+    t.provision(1, 20)
+    assert [r.count for r in t.ranges_for(1)] == [10, 20]
+    assert t.ranges_for(99) == []
+
+
+def test_mark_consumed_and_double_consume():
+    t = InoTable()
+    r = t.provision(1, 10)
+    t.mark_consumed(r.start)
+    assert t.is_consumed(r.start)
+    with pytest.raises(ValueError):
+        t.mark_consumed(r.start)
+
+
+def test_release_unused_counts_leftovers():
+    t = InoTable()
+    r = t.provision(1, 10)
+    for i in range(4):
+        t.mark_consumed(r.start + i)
+    assert t.release_unused(1) == 6
+    assert t.ranges_for(1) == []
+    # Released numbers are burned, not re-issued.
+    assert t.allocate() >= r.end
+
+
+def test_release_unused_unknown_client():
+    t = InoTable()
+    assert t.release_unused(42) == 0

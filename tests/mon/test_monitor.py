@@ -1,0 +1,86 @@
+"""Tests for the monitor's versioned policy map."""
+
+import pytest
+
+from repro.mon.monitor import Monitor
+
+from tests.conftest import drive
+
+
+@pytest.fixture
+def mon(engine, network):
+    return Monitor(engine, network)
+
+
+def test_set_and_resolve(engine, mon):
+    v = drive(engine, mon.set_subtree("/a/b", "policyB"))
+    assert v == 1
+    assert mon.resolve("/a/b") == "policyB"
+    assert mon.resolve("/a/b/deep/child") == "policyB"
+    assert mon.resolve("/a") is None
+    assert mon.resolve("/other") is None
+
+
+def test_nearest_ancestor_wins(engine, mon):
+    drive(engine, mon.set_subtree("/a", "outer"))
+    drive(engine, mon.set_subtree("/a/b", "inner"))
+    assert mon.resolve("/a/x") == "outer"
+    assert mon.resolve("/a/b") == "inner"
+    assert mon.resolve("/a/b/c") == "inner"
+
+
+def test_resolve_entry_returns_subtree_root(engine, mon):
+    drive(engine, mon.set_subtree("/a", "p"))
+    assert mon.resolve_entry("/a/deep/path") == ("/a", "p")
+    assert mon.resolve_entry("/elsewhere") is None
+
+
+def test_version_increments_and_history(engine, mon):
+    drive(engine, mon.set_subtree("/a", "p1"))
+    drive(engine, mon.set_subtree("/b", "p2"))
+    drive(engine, mon.set_subtree("/a", "p3"))
+    assert mon.version == 3
+    assert [h.version for h in mon.history] == [1, 2, 3]
+    assert mon.resolve("/a") == "p3"
+
+
+def test_clear_subtree(engine, mon):
+    drive(engine, mon.set_subtree("/a", "p"))
+    v = drive(engine, mon.clear_subtree("/a"))
+    assert v == 2
+    assert mon.resolve("/a/x") is None
+    # clearing a non-assigned path is a no-op version-wise
+    v = drive(engine, mon.clear_subtree("/never"))
+    assert v == 2
+
+
+def test_path_normalization(engine, mon):
+    drive(engine, mon.set_subtree("/a/b/", "p"))
+    assert mon.resolve("/a//b/c") == "p"
+    assert mon.exact("/a/b") == "p"
+    with pytest.raises(ValueError):
+        mon.resolve("relative")
+
+
+def test_root_policy_applies_everywhere(engine, mon):
+    drive(engine, mon.set_subtree("/", "default"))
+    assert mon.resolve("/any/path/at/all") == "default"
+
+
+def test_distribution_reaches_subscribers(engine, mon, network):
+    mon.subscribe("mds0")
+    mon.subscribe("osd.0")
+    mon.subscribe("mds0")  # duplicate ignored
+    assert mon.subscribers == ["mds0", "osd.0"]
+    before = network.total_messages
+    drive(engine, mon.set_subtree("/a", "p"))
+    # 1 client->mon submission + 2 daemon updates
+    assert network.total_messages == before + 3
+    mon.unsubscribe("osd.0")
+    assert mon.subscribers == ["mds0"]
+
+
+def test_subtree_paths(engine, mon):
+    drive(engine, mon.set_subtree("/b", "p"))
+    drive(engine, mon.set_subtree("/a", "p"))
+    assert mon.subtree_paths == ["/a", "/b"]

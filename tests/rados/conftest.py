@@ -1,0 +1,31 @@
+"""Shared fixtures for the object-store tests."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.network import Network
+from repro.rados.cluster import ObjectStore
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+@pytest.fixture
+def network(engine):
+    return Network(engine, latency_s=1e-4, bandwidth_bps=1.25e9)
+
+
+@pytest.fixture
+def store(engine, network):
+    return ObjectStore(engine, network, num_osds=3, replication=3)
+
+
+def drive(engine, gen):
+    """Run one process body to completion and return its value."""
+    proc = engine.process(gen)
+    engine.run()
+    if not proc.ok:
+        raise proc.value
+    return proc.value

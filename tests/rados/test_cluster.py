@@ -1,0 +1,193 @@
+"""Tests for pools, placement, replication and I/O costs."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.network import Network
+from repro.rados.cluster import ObjectStore, PlacementError, Pool
+
+from tests.rados.conftest import drive
+
+
+def test_pool_validation():
+    with pytest.raises(ValueError):
+        Pool("p", replication=0)
+
+
+def test_default_pools_exist(store):
+    assert "metadata" in store.pools
+    assert "data" in store.pools
+
+
+def test_create_pool_duplicate_rejected(store):
+    with pytest.raises(ValueError):
+        store.create_pool("metadata")
+
+
+def test_create_pool_replication_capped(store):
+    with pytest.raises(ValueError):
+        store.create_pool("big", replication=10)
+
+
+def test_unknown_pool_rejected(store):
+    with pytest.raises(KeyError):
+        store.pool("nope")
+    with pytest.raises(KeyError):
+        store.placement("nope", "obj")
+
+
+def test_placement_deterministic_and_replicated(store):
+    p1 = store.placement("metadata", "obj-a")
+    p2 = store.placement("metadata", "obj-a")
+    assert [o.osd_id for o in p1] == [o.osd_id for o in p2]
+    assert len(p1) == 3
+    assert len({o.osd_id for o in p1}) == 3
+
+
+def test_put_replicates_to_all(engine, store):
+    drive(engine, store.put("metadata", "obj", b"hello"))
+    for osd in store.placement("metadata", "obj"):
+        assert osd.has_object("obj")
+        assert osd.objects["obj"].data == b"hello"
+
+
+def test_get_round_trips(engine, store):
+    drive(engine, store.put("metadata", "obj", b"payload"))
+    got = drive(engine, store.get("metadata", "obj"))
+    assert got == b"payload"
+
+
+def test_get_missing_raises(engine, store):
+    with pytest.raises(KeyError):
+        drive(engine, store.get("metadata", "missing"))
+
+
+def test_append_accumulates(engine, store):
+    drive(engine, store.append("metadata", "j", b"aa"))
+    drive(engine, store.append("metadata", "j", b"bb"))
+    assert store.peek("metadata", "j") == b"aabb"
+
+
+def test_exists_stat_peek(engine, store):
+    assert not store.exists("metadata", "o")
+    drive(engine, store.put("metadata", "o", b"12345"))
+    assert store.exists("metadata", "o")
+    assert store.stat("metadata", "o") == 5
+    assert store.peek("metadata", "o") == b"12345"
+    with pytest.raises(KeyError):
+        store.stat("metadata", "gone")
+    with pytest.raises(KeyError):
+        store.peek("metadata", "gone")
+
+
+def test_remove(engine, store):
+    drive(engine, store.put("metadata", "o", b"x"))
+    store.remove("metadata", "o")
+    assert not store.exists("metadata", "o")
+
+
+def test_list_objects(engine, store):
+    drive(engine, store.put("metadata", "m1", b"x"))
+    drive(engine, store.put("data", "d1", b"y"))
+    assert "m1" in store.list_objects("metadata")
+    assert "d1" in store.list_objects("data")
+
+
+def test_read_modify_write_charges_read_and_write(engine, store):
+    drive(engine, store.put("metadata", "dir", b"v1"))
+    reads_before = sum(o.stats.counter("reads").value for o in store.osds)
+    writes_before = sum(o.stats.counter("writes").value for o in store.osds)
+    drive(engine, store.read_modify_write("metadata", "dir", b"v2"))
+    reads_after = sum(o.stats.counter("reads").value for o in store.osds)
+    writes_after = sum(o.stats.counter("writes").value for o in store.osds)
+    assert reads_after == reads_before + 1
+    assert writes_after == writes_before + 3  # all replicas
+    assert store.peek("metadata", "dir") == b"v2"
+
+
+def test_read_modify_write_creates_missing(engine, store):
+    drive(engine, store.read_modify_write("metadata", "fresh", b"new"))
+    assert store.peek("metadata", "fresh") == b"new"
+
+
+def test_failed_osd_skipped_in_placement(engine, store):
+    store.create_pool("thin", replication=1)
+    names = [f"o{i}" for i in range(20)]
+    primaries = {store.primary("thin", n).osd_id for n in names}
+    assert len(primaries) > 1  # hash spreads load
+    store.osds[0].fail()
+    for n in names:
+        assert store.primary("thin", n).osd_id != 0
+    store.osds[0].recover()
+
+
+def test_placement_degrades_then_errors(store):
+    store.osds[0].fail()
+    # Degraded but serving: 2 of 3 replicas.
+    assert len(store.placement("metadata", "obj")) == 2
+    for osd in store.osds:
+        osd.fail()
+    with pytest.raises(PlacementError):
+        store.placement("metadata", "obj")
+
+
+def test_unreplicated_data_lost_on_osd_failure(engine, store):
+    """With replication=1, losing the primary loses the object — the
+    'none/local durability' failure mode the paper warns about."""
+    store.create_pool("r1", replication=1)
+    drive(engine, store.put("r1", "o", b"x"))
+    primary = store.primary("r1", "o")
+    primary.fail()
+    with pytest.raises(KeyError):
+        drive(engine, store.get("r1", "o"))
+
+
+def test_replicated_data_survives_osd_failure(engine, store):
+    drive(engine, store.put("metadata", "o", b"precious"))
+    store.placement("metadata", "o")[0].fail()
+    # Re-read from the new primary (one of the surviving replicas).
+    assert drive(engine, store.get("metadata", "o")) == b"precious"
+
+
+def test_write_time_scales_with_size(engine, network):
+    store = ObjectStore(engine, network, num_osds=3, replication=3)
+
+    def body():
+        yield from store.put("data", "small", b"x" * 1000)
+
+    t0 = engine.now
+    drive(engine, body())
+    small_t = engine.now - t0
+
+    def body2():
+        yield from store.put("data", "large", b"x" * 10_000_000)
+
+    t0 = engine.now
+    drive(engine, body2())
+    large_t = engine.now - t0
+    assert large_t > 100 * small_t
+
+
+def test_replica_writes_parallel_not_serial(engine, network):
+    """Time for a replicated put should be ~one disk write, not three."""
+    store = ObjectStore(engine, network, num_osds=3, replication=3)
+    nbytes = 50_000_000
+    expected_disk = store.osds[0].disk.io_time(nbytes)
+
+    def body():
+        yield from store.put("data", "o", b"x" * nbytes)
+
+    drive(engine, body())
+    # network (10 GbE) + one parallel disk write, with slack
+    assert engine.now < 2.2 * expected_disk
+
+
+def test_aggregate_bandwidth(store):
+    assert store.aggregate_bandwidth_bps == pytest.approx(3 * 500e6)
+    store.osds[0].fail()
+    assert store.aggregate_bandwidth_bps == pytest.approx(2 * 500e6)
+
+
+def test_min_osds_validation(engine, network):
+    with pytest.raises(ValueError):
+        ObjectStore(engine, network, num_osds=0)

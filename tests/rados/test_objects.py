@@ -1,0 +1,71 @@
+"""Unit tests for RadosObject semantics."""
+
+import pytest
+
+from repro.rados.objects import RadosObject
+
+
+def test_name_required():
+    with pytest.raises(ValueError):
+        RadosObject("")
+
+
+def test_data_must_be_bytes():
+    with pytest.raises(TypeError):
+        RadosObject("o", "string")  # type: ignore[arg-type]
+
+
+def test_write_full_replaces_and_bumps_version():
+    o = RadosObject("o", b"abc")
+    assert o.version == 1
+    o.write_full(b"xyz!")
+    assert o.data == b"xyz!"
+    assert o.version == 2
+    assert len(o) == 4
+
+
+def test_append_extends():
+    o = RadosObject("o", b"ab")
+    o.append(b"cd")
+    assert o.data == b"abcd"
+    assert o.version == 2
+
+
+def test_append_type_checked():
+    o = RadosObject("o")
+    with pytest.raises(TypeError):
+        o.append([1, 2])  # type: ignore[arg-type]
+    with pytest.raises(TypeError):
+        o.write_full(42)  # type: ignore[arg-type]
+
+
+def test_read_ranges():
+    o = RadosObject("o", b"0123456789")
+    assert o.read() == b"0123456789"
+    assert o.read(3) == b"3456789"
+    assert o.read(3, 4) == b"3456"
+    assert o.read(8, 100) == b"89"
+
+
+def test_read_validation():
+    o = RadosObject("o", b"abc")
+    with pytest.raises(ValueError):
+        o.read(-1)
+    with pytest.raises(ValueError):
+        o.read(0, -2)
+
+
+def test_clone_is_independent():
+    o = RadosObject("o", b"abc")
+    o.write_full(b"def")
+    c = o.clone()
+    assert c.data == b"def" and c.version == o.version
+    c.append(b"!")
+    assert o.data == b"def"
+
+
+def test_bytearray_accepted():
+    o = RadosObject("o", bytearray(b"ab"))
+    o.append(bytearray(b"cd"))
+    assert o.data == b"abcd"
+    assert isinstance(o.data, bytes)

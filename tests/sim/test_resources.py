@@ -1,0 +1,238 @@
+"""Tests for Resource / Store / Semaphore queueing semantics."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError, Timeout
+from repro.sim.resources import Resource, Semaphore, Store
+
+
+def test_resource_capacity_validation():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        Resource(eng, capacity=0)
+
+
+def test_resource_serializes_beyond_capacity():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+    finish = []
+
+    def worker(tag):
+        req = res.request()
+        yield req
+        try:
+            yield Timeout(eng, 2.0)
+        finally:
+            res.release(req)
+        finish.append((tag, eng.now))
+
+    for t in ("a", "b", "c"):
+        eng.process(worker(t))
+    eng.run()
+    assert finish == [("a", 2.0), ("b", 4.0), ("c", 6.0)]
+
+
+def test_resource_parallel_within_capacity():
+    eng = Engine()
+    res = Resource(eng, capacity=3)
+    finish = []
+
+    def worker(tag):
+        req = res.request()
+        yield req
+        try:
+            yield Timeout(eng, 2.0)
+        finally:
+            res.release(req)
+        finish.append((tag, eng.now))
+
+    for t in "abc":
+        eng.process(worker(t))
+    eng.run()
+    assert [t for t, _ in finish] == ["a", "b", "c"]
+    assert all(when == 2.0 for _, when in finish)
+
+
+def test_resource_fifo_order():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+    order = []
+
+    def worker(tag, arrive):
+        yield Timeout(eng, arrive)
+        req = res.request()
+        yield req
+        order.append(tag)
+        yield Timeout(eng, 5)
+        res.release(req)
+
+    eng.process(worker("first", 0.0))
+    eng.process(worker("second", 0.1))
+    eng.process(worker("third", 0.2))
+    eng.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_resource_queue_length_and_in_use():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+
+    def holder():
+        req = res.request()
+        yield req
+        yield Timeout(eng, 10)
+        res.release(req)
+
+    def waiter():
+        req = res.request()
+        yield req
+        res.release(req)
+
+    eng.process(holder())
+    eng.process(waiter())
+    eng.run(until=5)
+    assert res.in_use == 1
+    assert res.queue_length == 1
+    eng.run()
+    assert res.in_use == 0
+    assert res.queue_length == 0
+
+
+def test_resource_utilization_integral():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+
+    def holder():
+        req = res.request()
+        yield req
+        yield Timeout(eng, 4)
+        res.release(req)
+        yield Timeout(eng, 6)  # idle tail
+
+    eng.process(holder())
+    eng.run()
+    assert eng.now == pytest.approx(10)
+    assert res.utilization() == pytest.approx(0.4)
+
+
+def test_release_unrequested_raises():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+    req = res.request()  # immediately granted
+    res.release(req)
+    with pytest.raises(SimulationError):
+        res.release(req)
+
+
+def test_release_queued_request_cancels():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+    first = res.request()
+    queued = res.request()
+    assert not queued.triggered
+    res.release(queued)  # cancel while waiting
+    assert res.queue_length == 0
+    res.release(first)
+    assert res.in_use == 0
+
+
+def test_store_put_then_get():
+    eng = Engine()
+    st = Store(eng)
+    st.put("x")
+    got = []
+
+    def getter():
+        v = yield st.get()
+        got.append(v)
+
+    eng.process(getter())
+    eng.run()
+    assert got == ["x"]
+
+
+def test_store_get_blocks_until_put():
+    eng = Engine()
+    st = Store(eng)
+    got = []
+
+    def getter():
+        v = yield st.get()
+        got.append((eng.now, v))
+
+    def putter():
+        yield Timeout(eng, 3)
+        st.put("late")
+
+    eng.process(getter())
+    eng.process(putter())
+    eng.run()
+    assert got == [(3.0, "late")]
+
+
+def test_store_fifo_items_and_getters():
+    eng = Engine()
+    st = Store(eng)
+    got = []
+
+    def getter(tag):
+        v = yield st.get()
+        got.append((tag, v))
+
+    eng.process(getter("g1"))
+    eng.process(getter("g2"))
+
+    def putter():
+        yield Timeout(eng, 1)
+        st.put("first")
+        st.put("second")
+
+    eng.process(putter())
+    eng.run()
+    assert got == [("g1", "first"), ("g2", "second")]
+
+
+def test_store_try_get():
+    eng = Engine()
+    st = Store(eng)
+    assert st.try_get() is None
+    st.put(7)
+    assert len(st) == 1
+    assert st.try_get() == 7
+    assert st.try_get() is None
+
+
+def test_semaphore_tokens_and_blocking():
+    eng = Engine()
+    sem = Semaphore(eng, tokens=2)
+    order = []
+
+    def worker(tag):
+        yield sem.acquire()
+        order.append((tag, eng.now))
+        yield Timeout(eng, 1)
+        sem.release()
+
+    for t in "abc":
+        eng.process(worker(t))
+    eng.run()
+    assert order == [("a", 0.0), ("b", 0.0), ("c", 1.0)]
+
+
+def test_semaphore_negative_tokens_rejected():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        Semaphore(eng, tokens=-1)
+
+
+def test_semaphore_release_restores_token():
+    eng = Engine()
+    sem = Semaphore(eng, tokens=1)
+
+    def body():
+        yield sem.acquire()
+        sem.release()
+
+    eng.process(body())
+    eng.run()
+    assert sem.tokens == 1

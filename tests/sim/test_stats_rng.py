@@ -1,0 +1,172 @@
+"""Tests for the stats recorders and deterministic RNG streams."""
+
+import pytest
+
+from repro.sim.engine import Engine, Timeout
+from repro.sim.rng import RngStream
+from repro.sim.stats import Counter, StatsRegistry, TimeSeries, UtilizationTracker
+
+
+def test_counter_increments():
+    c = Counter("ops")
+    c.incr()
+    c.incr(4)
+    assert int(c) == 5
+
+
+def test_counter_rejects_negative():
+    c = Counter("ops")
+    with pytest.raises(ValueError):
+        c.incr(-1)
+
+
+def test_timeseries_ordering_enforced():
+    ts = TimeSeries("x")
+    ts.record(1.0, 10)
+    with pytest.raises(ValueError):
+        ts.record(0.5, 5)
+
+
+def test_timeseries_window_and_rate():
+    ts = TimeSeries("ops")
+    for t in range(10):
+        ts.record(float(t), 2.0)
+    times, vals = ts.window(2.0, 5.0)
+    assert list(times) == [2.0, 3.0, 4.0, 5.0]
+    assert ts.rate(0.0, 10.0) == pytest.approx(2.0)
+    assert ts.mean() == pytest.approx(2.0)
+    assert len(ts) == 10
+
+
+def test_timeseries_empty_stats():
+    ts = TimeSeries("empty")
+    assert ts.mean() == 0.0
+    assert ts.rate(0, 1) == 0.0
+
+
+def test_utilization_tracker_half_busy():
+    eng = Engine()
+    util = UtilizationTracker(eng, capacity=1.0)
+
+    def body():
+        util.set_level(1.0)
+        yield Timeout(eng, 5)
+        util.set_level(0.0)
+        yield Timeout(eng, 5)
+
+    eng.process(body())
+    eng.run()
+    assert util.utilization(0, 10) == pytest.approx(0.5)
+
+
+def test_utilization_tracker_window_subset():
+    eng = Engine()
+    util = UtilizationTracker(eng, capacity=2.0)
+
+    def body():
+        yield Timeout(eng, 2)
+        util.set_level(2.0)
+        yield Timeout(eng, 2)
+        util.set_level(0.0)
+        yield Timeout(eng, 2)
+
+    eng.process(body())
+    eng.run()
+    # busy 2 cores over [2,4] of a capacity-2 tracker
+    assert util.utilization(2, 4) == pytest.approx(1.0)
+    assert util.utilization(0, 6) == pytest.approx(1 / 3)
+    assert util.utilization(4, 6) == pytest.approx(0.0)
+
+
+def test_utilization_add_is_relative():
+    eng = Engine()
+    util = UtilizationTracker(eng, capacity=4.0)
+
+    def body():
+        util.add(2)
+        yield Timeout(eng, 1)
+        util.add(-1)
+        yield Timeout(eng, 1)
+
+    eng.process(body())
+    eng.run()
+    assert util.utilization(0, 2) == pytest.approx((2 + 1) / (2 * 4))
+
+
+def test_utilization_negative_level_rejected():
+    eng = Engine()
+    util = UtilizationTracker(eng)
+    with pytest.raises(ValueError):
+        util.set_level(-1)
+
+
+def test_utilization_zero_window():
+    eng = Engine()
+    util = UtilizationTracker(eng)
+    assert util.utilization(1, 1) == 0.0
+
+
+def test_registry_reuses_named_objects():
+    eng = Engine()
+    reg = StatsRegistry(eng, "mds0")
+    assert reg.counter("rpcs") is reg.counter("rpcs")
+    assert reg.series("tput") is reg.series("tput")
+    assert reg.utilization("cpu") is reg.utilization("cpu")
+    reg.counter("rpcs").incr(3)
+    assert reg.counters() == {"rpcs": 3}
+    assert set(reg.names()) == {"rpcs", "tput", "cpu"}
+
+
+def test_rng_deterministic_per_name():
+    a1 = RngStream(7, "client0")
+    a2 = RngStream(7, "client0")
+    b = RngStream(7, "client1")
+    seq1 = [a1.uniform() for _ in range(5)]
+    seq2 = [a2.uniform() for _ in range(5)]
+    seqb = [b.uniform() for _ in range(5)]
+    assert seq1 == seq2
+    assert seq1 != seqb
+
+
+def test_rng_different_seed_differs():
+    x = RngStream(1, "c")
+    y = RngStream(2, "c")
+    assert [x.uniform() for _ in range(3)] != [y.uniform() for _ in range(3)]
+
+
+def test_rng_child_streams_independent():
+    root = RngStream(5, "mds")
+    c1 = root.child("journal")
+    c2 = root.child("cache")
+    assert c1.name == "mds/journal"
+    assert [c1.uniform() for _ in range(3)] != [c2.uniform() for _ in range(3)]
+
+
+def test_lognormal_service_mean_and_validation():
+    r = RngStream(3, "svc")
+    samples = [r.lognormal_service(0.01, cv=0.1) for _ in range(4000)]
+    mean = sum(samples) / len(samples)
+    assert mean == pytest.approx(0.01, rel=0.05)
+    assert r.lognormal_service(2.0, cv=0.0) == 2.0
+    with pytest.raises(ValueError):
+        r.lognormal_service(-1.0)
+    with pytest.raises(ValueError):
+        r.lognormal_service(1.0, cv=-0.5)
+
+
+def test_exponential_validation():
+    r = RngStream(3, "svc")
+    with pytest.raises(ValueError):
+        r.exponential(0)
+    assert r.exponential(1.0) > 0
+
+
+def test_rng_helpers():
+    r = RngStream(11, "misc")
+    v = r.integers(0, 10)
+    assert 0 <= v < 10
+    assert r.choice(["only"]) == "only"
+    seq = list(range(20))
+    shuffled = list(seq)
+    r.shuffle(shuffled)
+    assert sorted(shuffled) == seq

@@ -1,0 +1,73 @@
+"""Tests for the event tracer."""
+
+import pytest
+
+from repro.sim.engine import Engine, Timeout
+from repro.sim.trace import Tracer
+
+
+def run_workload(engine):
+    def child():
+        yield Timeout(engine, 1)
+
+    def parent():
+        yield engine.process(child(), name="child")
+        yield Timeout(engine, 1)
+
+    engine.process(parent(), name="parent")
+    engine.run()
+
+
+def test_tracer_records_events():
+    engine = Engine()
+    tracer = Tracer.attach(engine)
+    run_workload(engine)
+    assert len(tracer) > 0
+    kinds = tracer.by_kind()
+    assert kinds["timeout"] >= 2
+    assert kinds["process-end"] == 2
+    names = {r.name for r in tracer.records if r.kind == "process-end"}
+    assert names == {"child", "parent"}
+
+
+def test_tracer_summary_and_tail():
+    engine = Engine()
+    tracer = Tracer.attach(engine)
+    run_workload(engine)
+    text = tracer.summary()
+    assert "events traced" in text and "timeout" in text
+    assert len(tracer.tail(3)) == 3
+    assert str(tracer.tail(1)[0]).startswith("[")
+
+
+def test_tracer_bounded():
+    engine = Engine()
+    tracer = Tracer.attach(engine, max_records=2)
+
+    def body():
+        for _ in range(10):
+            yield Timeout(engine, 1)
+
+    engine.process(body())
+    engine.run()
+    assert len(tracer) == 2
+    assert tracer.dropped > 0
+
+
+def test_tracer_detach():
+    engine = Engine()
+    tracer = Tracer.attach(engine)
+    Tracer.detach(engine)
+    run_workload(engine)
+    assert len(tracer) == 0
+
+
+def test_tracer_validation():
+    with pytest.raises(ValueError):
+        Tracer(max_records=0)
+
+
+def test_untraced_engine_unaffected():
+    engine = Engine()
+    run_workload(engine)
+    assert engine.now == pytest.approx(2.0)

@@ -1,0 +1,81 @@
+"""Tests for the create-heavy workloads."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.mds.server import MDSConfig
+from repro.workloads.createheavy import (
+    parallel_creates_decoupled,
+    parallel_creates_rpc,
+)
+
+
+def make_cluster(seed=0, journal=True):
+    return Cluster(
+        mds_config=MDSConfig(journal_enabled=journal, materialize=False),
+        seed=seed,
+    )
+
+
+def test_rpc_result_fields():
+    cluster = make_cluster()
+    res = cluster.run(parallel_creates_rpc(cluster, 2, 500))
+    assert res.clients == 2
+    assert res.total_ops == 1000
+    assert len(res.client_times) == 2
+    assert res.merge_time == 0.0
+    assert res.job_time == res.create_time > 0
+    assert res.job_throughput == pytest.approx(1000 / res.job_time)
+    assert res.mds_rpcs >= 1000
+
+
+def test_rpc_scaling_saturates_mds():
+    """More clients raise total throughput until the MDS peak (~3000/s)."""
+    def tput(n):
+        cluster = make_cluster()
+        res = cluster.run(parallel_creates_rpc(cluster, n, 2000))
+        return res.job_throughput
+
+    t1, t4, t12 = tput(1), tput(4), tput(12)
+    assert t4 > 3 * t1 * 0.8
+    assert t12 < 3100  # saturation
+    assert t12 > t4 * 0.9
+
+
+def test_decoupled_scales_linearly():
+    def tput(n):
+        cluster = make_cluster()
+        res = cluster.run(
+            parallel_creates_decoupled(cluster, n, 2000, persist_each=True)
+        )
+        return res.job_throughput
+
+    t1, t8 = tput(1), tput(8)
+    assert t8 == pytest.approx(8 * t1, rel=0.05)
+    assert t1 == pytest.approx(2500, rel=0.1)
+
+
+def test_decoupled_merge_adds_serialized_phase():
+    cluster = make_cluster()
+    res = cluster.run(
+        parallel_creates_decoupled(cluster, 4, 1000, merge=True)
+    )
+    assert res.merge_time > 0
+    assert res.job_time > res.create_time
+    assert cluster.mds.stats.counter("merged_events").value == 4000
+
+
+def test_decoupled_without_merge_leaves_journals():
+    cluster = make_cluster()
+    res = cluster.run(
+        parallel_creates_decoupled(cluster, 2, 100, merge=False)
+    )
+    assert res.merge_time == 0.0
+    assert cluster.mds.stats.counter("merged_events").value == 0
+
+
+def test_slowest_client_at_least_mean():
+    cluster = make_cluster()
+    res = cluster.run(parallel_creates_rpc(cluster, 3, 1000))
+    mean = sum(res.client_times) / len(res.client_times)
+    assert res.slowest_client_time >= mean

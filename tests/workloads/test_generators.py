@@ -1,0 +1,108 @@
+"""Tests for the parameterized trace generator."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.mds.server import MDSConfig
+from repro.sim.rng import RngStream
+from repro.workloads.generators import (
+    OpMix,
+    TraceConfig,
+    generate_trace,
+    replay_trace,
+)
+
+
+def test_opmix_validation():
+    with pytest.raises(ValueError):
+        OpMix(create=-1)
+    with pytest.raises(ValueError):
+        OpMix(create=0, lookup=0, stat=0, ls=0)
+    probs = dict(OpMix(create=3, lookup=1).probabilities())
+    assert probs["create"] == pytest.approx(0.75)
+    assert probs["lookup"] == pytest.approx(0.25)
+    assert "stat" not in probs
+
+
+def test_trace_config_validation():
+    with pytest.raises(ValueError):
+        TraceConfig(ops=0)
+    with pytest.raises(ValueError):
+        TraceConfig(ops=1, dirs=0)
+    with pytest.raises(ValueError):
+        TraceConfig(ops=1, zipf_s=-0.5)
+
+
+def test_trace_length_and_paths():
+    cfg = TraceConfig(ops=500, dirs=4, root="/t")
+    trace = list(generate_trace(cfg, RngStream(1, "trace")))
+    assert len(trace) == 500
+    assert all(path.startswith("/t/dir") for _, path in trace)
+    assert all(op == "create" for op, _ in trace)  # default mix
+
+
+def test_trace_deterministic_per_stream():
+    cfg = TraceConfig(ops=100, dirs=8, zipf_s=1.0)
+    a = list(generate_trace(cfg, RngStream(2, "x")))
+    b = list(generate_trace(cfg, RngStream(2, "x")))
+    c = list(generate_trace(cfg, RngStream(3, "x")))
+    assert a == b
+    assert a != c
+
+
+def test_zipf_skews_popularity():
+    cfg_uniform = TraceConfig(ops=8000, dirs=10, zipf_s=0.0)
+    cfg_zipf = TraceConfig(ops=8000, dirs=10, zipf_s=1.2)
+    rng = RngStream(5, "skew")
+
+    def top_share(cfg):
+        from collections import Counter
+
+        counts = Counter(path for _, path in generate_trace(cfg, rng.child(str(cfg.zipf_s))))
+        return max(counts.values()) / cfg.ops
+
+    assert top_share(cfg_zipf) > 2 * top_share(cfg_uniform)
+
+
+def test_mixed_ops_present():
+    cfg = TraceConfig(ops=2000, mix=OpMix(create=1, lookup=1, stat=1, ls=1))
+    ops = {op for op, _ in generate_trace(cfg, RngStream(7, "mix"))}
+    assert ops == {"create", "lookup", "stat", "ls"}
+
+
+def test_replay_trace_end_to_end():
+    cluster = Cluster(mds_config=MDSConfig(materialize=False))
+    client = cluster.new_client()
+    cfg = TraceConfig(
+        ops=600, dirs=6, zipf_s=1.0,
+        mix=OpMix(create=4, lookup=1, ls=0.2),
+    )
+    counts = cluster.run(replay_trace(client, cfg, RngStream(9, "replay")))
+    assert sum(counts.values()) == 600
+    assert counts["create"] > counts["lookup"]
+    assert cluster.now > 0
+    assert cluster.mds.stats.counter("creates").value == counts["create"]
+
+
+def test_replay_skewed_trace_triggers_more_contention():
+    """With two clients replaying the same skewed trace, hot directories
+    shared by both cause cap revocations; uniform traces cause fewer
+    collisions per op."""
+    def revocations(zipf_s):
+        cluster = Cluster(mds_config=MDSConfig(materialize=False))
+        c1, c2 = cluster.new_client(), cluster.new_client()
+        cfg = TraceConfig(ops=400, dirs=12, zipf_s=zipf_s)
+
+        def both():
+            p1 = cluster.engine.process(
+                replay_trace(c1, cfg, RngStream(1, "a"))
+            )
+            p2 = cluster.engine.process(
+                replay_trace(c2, cfg, RngStream(1, "b"))
+            )
+            yield cluster.engine.all_of([p1, p2])
+
+        cluster.run(both())
+        return cluster.mds.stats.counter("revocations").value
+
+    assert revocations(1.5) >= 1

@@ -1,0 +1,97 @@
+"""Tests for the interference workload."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.mds.server import MDSConfig
+from repro.workloads.interference import run_interference
+
+
+def make_cluster(seed=0):
+    return Cluster(mds_config=MDSConfig(materialize=False), seed=seed)
+
+
+def test_mode_validation():
+    cluster = make_cluster()
+    with pytest.raises(ValueError):
+        cluster.run(run_interference(cluster, 1, 100, mode="sometimes"))
+
+
+def test_no_interference_baseline():
+    cluster = make_cluster()
+    res = cluster.run(run_interference(cluster, 2, 1000, mode="none"))
+    assert res.revocations == 0
+    assert res.rejects == 0
+    assert res.interferer_time == 0.0
+    assert len(res.client_times) == 2
+
+
+def test_allow_mode_revokes_every_directory():
+    cluster = make_cluster()
+    res = cluster.run(
+        run_interference(cluster, 4, 2000, mode="allow", interfere_ops=100)
+    )
+    assert res.revocations == 4
+    assert res.lookups > 0
+    assert res.rejects == 0
+    assert res.interferer_errors == 0
+
+
+def test_allow_slows_down_owners():
+    def slowest(mode):
+        cluster = make_cluster()
+        return cluster.run(
+            run_interference(cluster, 2, 2000, mode=mode, interfere_ops=100)
+        ).slowest_client_time
+
+    assert slowest("allow") > 1.25 * slowest("none")
+
+
+def test_block_mode_rejects_and_protects():
+    cluster = make_cluster()
+    res = cluster.run(
+        run_interference(cluster, 3, 2000, mode="block", interfere_ops=100)
+    )
+    assert res.rejects > 0
+    assert res.revocations == 0
+    assert res.interferer_errors == 3  # every directory bounced
+
+
+def test_block_close_to_no_interference():
+    def slowest(mode):
+        cluster = make_cluster()
+        return cluster.run(
+            run_interference(cluster, 3, 2000, mode=mode, interfere_ops=100)
+        ).slowest_client_time
+
+    none_t, block_t, allow_t = slowest("none"), slowest("block"), slowest("allow")
+    assert block_t < allow_t
+    assert block_t == pytest.approx(none_t, rel=0.15)
+
+
+def test_sampler_collects_series():
+    cluster = make_cluster()
+    res = cluster.run(
+        run_interference(
+            cluster, 1, 2000, mode="allow", interfere_ops=100,
+            sample_interval_s=0.5,
+        )
+    )
+    assert len(res.create_samples) > 3
+    assert len(res.lookup_samples) == len(res.create_samples)
+    # cumulative counters are monotone
+    creates = [v for _, v in res.create_samples]
+    assert creates == sorted(creates)
+
+
+def test_interferer_start_scales_with_ops():
+    cluster = make_cluster()
+    res = cluster.run(
+        run_interference(
+            cluster, 1, 3000, mode="allow", interfere_ops=50,
+            interferer_start_frac=0.5,
+        )
+    )
+    # Before the interferer arrives (~50% mark) the owner held its cap,
+    # so lookups only cover roughly the second half of the ops.
+    assert 0 < res.lookups < 3000 * 0.75
