@@ -1,0 +1,30 @@
+"""Fault drill: ops lost and recovery latency per durability policy."""
+
+import pytest
+
+from repro.bench.experiments import faults
+from repro.bench.report import format_result
+
+from benchmarks.conftest import record
+
+
+@pytest.mark.faults
+def test_bench_faults(benchmark, scale):
+    result = benchmark.pedantic(lambda: faults(scale), rounds=1, iterations=1)
+    print("\n" + format_result(result))
+    record(benchmark, result)
+    lost = result.get("ops lost")
+    latency = result.get("recovery latency (s)")
+    burst = result.meta["ops"]
+    downtime = result.meta["downtime_s"]
+    # The durability spectrum: 'none' loses the burst, the persisted
+    # policies lose nothing.
+    assert lost.at("none") == pytest.approx(burst)
+    assert lost.at("local") == 0.0
+    assert lost.at("global") == 0.0
+    # Recovery always costs at least the downtime; the persisted
+    # policies pay replay I/O on top.
+    for policy in ("none", "local", "global"):
+        assert latency.at(policy) >= downtime
+    assert latency.at("local") > latency.at("none")
+    assert latency.at("global") > latency.at("none")

@@ -1,0 +1,100 @@
+"""Fault drill: crash everything, and watch the durability spectrum work.
+
+One decoupled client runs the same create burst under the three
+durability policies (§III-B) while the fault injector executes the
+same crash/recover schedule against it.  Then an MDS dies mid-stream
+and recovers from its dispatched journal segments, and an RPC client
+rides out the outage on retries.
+
+Run:  python examples/fault_drill.py
+"""
+
+from repro.client.client import RetryPolicy
+from repro.cluster import Cluster
+from repro.core.mechanisms import MechanismContext, run_mechanism
+from repro.faults import FaultInjector, FaultPlan
+from repro.mds.server import MDSConfig
+
+BURST = 60
+
+
+def durability_spectrum() -> None:
+    print(f"-- client crash after a {BURST}-create burst, per policy --")
+    for policy in ("none", "local", "global"):
+        cluster = Cluster(seed=0)
+        d = cluster.new_decoupled_client(persist_each=(policy == "local"))
+        cluster.run(d.create_many("/job", [f"f{i}" for i in range(BURST)]))
+        if policy == "global":
+            ctx = MechanismContext(cluster, "/job", d)
+            cluster.run(run_mechanism("global_persist", ctx))
+        t = cluster.now
+        mode = "global" if policy == "global" else "local"
+        plan = (
+            FaultPlan()
+            .crash(t + 0.01, d.name, lose_disk=(policy == "global"))
+            .recover(t + 0.06, d.name, mode=mode)
+        )
+        injector = FaultInjector(cluster, plan)
+        injector.start()
+        cluster.run()
+        _, crashed_at, recovered_at = injector.recoveries[0]
+        print(
+            f"  {policy:>6}: survived {d.pending_events:>2}/{BURST} ops, "
+            f"recovery latency {1000 * (recovered_at - crashed_at):.2f} ms"
+        )
+
+
+def mds_crash_recovery() -> None:
+    print("-- MDS crash mid-stream (segment_events=8) --")
+    cluster = Cluster(mds_config=MDSConfig(segment_events=8), seed=0)
+    client = cluster.new_client(retry=RetryPolicy(max_retries=6))
+    cluster.run(client.mkdir("/d"))
+    cluster.run(client.create_many("/d", [f"f{i}" for i in range(20)]))
+    summary = cluster.mds.crash()
+    print(f"  crash lost the open segment: {summary['journal_events_lost']} events")
+    replayed = cluster.run(cluster.mds.recover())
+    survived = sum(
+        cluster.mds.mdstore.exists(f"/d/f{i}") for i in range(20)
+    )
+    print(f"  recovery replayed {replayed} dispatched events; "
+          f"{survived}/20 creates survived")
+    resp = cluster.run(client.create("/d/after-recovery"))
+    print(f"  post-recovery create ok={resp.ok}, "
+          f"retries so far: {client.stats.counter('rpc_retries').value}")
+
+
+def retry_through_outage() -> None:
+    print("-- RPC client retries through an MDS outage --")
+    cluster = Cluster(seed=0)
+    client = cluster.new_client(
+        retry=RetryPolicy(max_retries=6, base_backoff_s=0.01)
+    )
+    cluster.run(client.mkdir("/d"))
+    cluster.run(cluster.mds.journal.flush())
+    cluster.mds.crash()
+
+    def recover_later():
+        from repro.sim.engine import Timeout
+
+        yield Timeout(cluster.engine, 0.025)
+        yield cluster.engine.process(cluster.mds.recover())
+
+    cluster.engine.process(recover_later())
+    resp = cluster.run(client.create("/d/meanwhile"))
+    print(
+        f"  op issued during outage: ok={resp.ok} after "
+        f"{client.stats.counter('rpc_retries').value} retries "
+        f"({client.stats.counter('rpc_failures').value} transient failures)"
+    )
+
+
+def main() -> None:
+    durability_spectrum()
+    mds_crash_recovery()
+    retry_through_outage()
+    print("done: none lost the burst, local/global got it back, and the")
+    print("MDS recovered exactly its streamed journal prefix.")
+
+
+if __name__ == "__main__":
+    main()

@@ -30,7 +30,7 @@ from repro.workloads.interference import run_interference
 
 __all__ = [
     "fig2", "fig3a", "fig3b", "fig3c", "fig5", "fig6a", "fig6b", "fig6c",
-    "table1", "ALL_EXPERIMENTS",
+    "table1", "faults", "ALL_EXPERIMENTS",
 ]
 
 
@@ -476,6 +476,73 @@ def fig6c(scale: Optional[Scale] = None) -> ExperimentResult:
 
 
 # ---------------------------------------------------------------------------
+# Faults: ops lost and recovery latency per durability policy
+# ---------------------------------------------------------------------------
+
+
+def faults(scale: Optional[Scale] = None) -> ExperimentResult:
+    """Crash a decoupled client after a create burst under each
+    durability policy and measure what comes back.
+
+    The paper's durability spectrum (§III-B) made measurable: 'none'
+    loses the whole burst, 'local' recovers it from the client's disk,
+    'global' recovers it from the object store.  Recovery latency is the
+    simulated time from the crash to the component serving again
+    (downtime plus the replay I/O), as recorded by the
+    :class:`~repro.faults.injector.FaultInjector`.
+    """
+    from repro.faults import FaultInjector, FaultPlan
+
+    scale = scale or get_scale()
+    ops = max(64, min(scale.fig5_ops // 40, 1000))
+    policies = ["none", "local", "global"]
+    downtime_s = 0.05
+    lost_rows, latency_rows = [], []
+    for seed in range(scale.seeds):
+        lost_row, latency_row = [], []
+        for policy in policies:
+            cluster = _cluster(seed)
+            d = cluster.new_decoupled_client(persist_each=(policy == "local"))
+            names = [f"f{i}" for i in range(ops)]
+            cluster.run(d.create_many("/burst", names))
+            if policy == "global":
+                ctx = MechanismContext(cluster, "/burst", d)
+                cluster.run(run_mechanism("global_persist", ctx))
+            t_crash = cluster.now + 0.01
+            mode = "global" if policy == "global" else "local"
+            plan = (
+                FaultPlan()
+                .crash(t_crash, d.name)
+                .recover(t_crash + downtime_s, d.name, mode=mode)
+            )
+            injector = FaultInjector(cluster, plan)
+            injector.start()
+            cluster.run()
+            lost_row.append(float(ops - d.pending_events))
+            target, crashed_at, recovered_at = injector.recoveries[-1]
+            latency_row.append(recovered_at - crashed_at)
+        lost_rows.append(lost_row)
+        latency_rows.append(latency_row)
+    lost_m, lost_s = aggregate(lost_rows)
+    lat_m, lat_s = aggregate(latency_rows)
+    return ExperimentResult(
+        exp_id="faults",
+        title="Durability spectrum under a client crash",
+        x_label="durability policy",
+        y_label="ops lost / recovery latency (s)",
+        series=[
+            Series("ops lost", policies, lost_m, lost_s),
+            Series("recovery latency (s)", policies, lat_m, lat_s),
+        ],
+        notes=[
+            "paper §III-B: none loses the burst; local recovers from the "
+            "client's disk; global recovers from the object store",
+        ],
+        meta={"scale": scale.name, "ops": ops, "downtime_s": downtime_s},
+    )
+
+
+# ---------------------------------------------------------------------------
 # Table I: end-to-end cost of each semantics cell
 # ---------------------------------------------------------------------------
 
@@ -528,4 +595,5 @@ ALL_EXPERIMENTS: Dict[str, Callable[[Optional[Scale]], ExperimentResult]] = {
     "fig6b": fig6b,
     "fig6c": fig6c,
     "table1": table1,
+    "faults": faults,
 }

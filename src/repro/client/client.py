@@ -9,16 +9,49 @@ per-op client overhead constant folds in propagation), which keeps
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Generator, Optional, Sequence, Union
 
 from repro import calibration as cal
 from repro.client.cache import ClientCache
-from repro.mds.server import MetadataServer, Request, Response
-from repro.sim.engine import Engine, Event, Timeout
-from repro.sim.network import Network
+from repro.mds.server import MDSDownError, MetadataServer, Request, Response
+from repro.rados.osd import OSDCrashError, OSDDownError
+from repro.sim.engine import AnyOf, Engine, Event, Timeout
+from repro.sim.network import Network, PartitionError
 from repro.sim.stats import StatsRegistry
 
-__all__ = ["Client", "WriteHandle"]
+__all__ = ["Client", "RetryPolicy", "RpcTimeout", "WriteHandle"]
+
+
+class RpcTimeout(TimeoutError):
+    """The reply did not arrive within the retry policy's timeout."""
+
+
+#: Failures a retry can plausibly outlast: a crashed/recovering MDS, a
+#: severed network pair, or an OSD dying under the MDS mid-journal-write.
+TRANSIENT_ERRORS = (
+    MDSDownError, PartitionError, RpcTimeout, OSDDownError, OSDCrashError,
+)
+
+
+@dataclass
+class RetryPolicy:
+    """Timeout/backoff knobs for the failure-aware RPC path.
+
+    Retries are deterministic (no jitter): bounded exponential backoff
+    starting at ``base_backoff_s``, doubling by ``multiplier`` up to
+    ``max_backoff_s``, at most ``max_retries`` retries.  When
+    ``reply_timeout_s`` is set, a reply slower than that counts as a
+    failure too (covers a peer that silently stops responding).  After
+    the budget is exhausted the op completes with an ``ETIMEDOUT``
+    error response — workloads degrade instead of deadlocking.
+    """
+
+    max_retries: int = 4
+    base_backoff_s: float = 0.010
+    multiplier: float = 2.0
+    max_backoff_s: float = 1.0
+    reply_timeout_s: Optional[float] = None
 
 
 class WriteHandle:
@@ -54,6 +87,7 @@ class Client:
         mds: MetadataServer,
         network: Network,
         router=None,
+        retry: Optional[RetryPolicy] = None,
     ):
         self.engine = engine
         self.client_id = client_id
@@ -62,6 +96,8 @@ class Client:
         self.name = f"client{client_id}"
         self.cache = ClientCache(client_id)
         self.stats = StatsRegistry(engine, self.name)
+        self.retry = retry or RetryPolicy()
+        self.up = True
         #: Optional per-path MDS routing (multi-MDS subtree partitioning);
         #: ``router(path) -> MetadataServer``.  None pins to ``mds``.
         self.router = router
@@ -82,16 +118,79 @@ class Client:
         self._zero_latency_links(mds)
         return mds
 
+    # -- fault injection ----------------------------------------------------
+    def crash(self) -> None:
+        """Client crash: cached capabilities/lookups are gone.
+
+        The RPC client is synchronous — every acknowledged op already
+        reached the MDS — so unlike the decoupled client nothing queued
+        is lost; only its soft state resets.
+        """
+        self.up = False
+        self.cache = ClientCache(self.client_id)
+        self.stats.counter("crashes").incr()
+
+    def recover(self) -> None:
+        if self.up:
+            return
+        self.up = True
+        self.stats.counter("recoveries").incr()
+
     # -- plumbing -----------------------------------------------------------
+    def _exchange(
+        self, mds: MetadataServer, request: Request
+    ) -> Generator[Event, None, Response]:
+        """One attempt: request wire -> MDS -> reply wire."""
+        yield from self.network.send(self.name, mds.name, cal.RPC_MESSAGE_BYTES)
+        done = mds.submit(request)
+        if self.retry.reply_timeout_s is not None:
+            idx, value = yield AnyOf(
+                self.engine, [done, Timeout(self.engine, self.retry.reply_timeout_s)]
+            )
+            if idx == 1:
+                raise RpcTimeout(
+                    f"{self.name}: no reply from {mds.name} within "
+                    f"{self.retry.reply_timeout_s}s"
+                )
+            response = value
+        else:
+            response = yield done
+        yield from self.network.send(mds.name, self.name, cal.RPC_MESSAGE_BYTES)
+        return response
+
     def _call(
         self, request: Request, op_count: int = 1
     ) -> Generator[Event, None, Response]:
-        """One RPC exchange covering ``op_count`` synchronous operations."""
+        """One RPC exchange covering ``op_count`` synchronous operations.
+
+        Transient failures (dead MDS, network partition, reply timeout)
+        are retried with bounded exponential backoff; once the budget is
+        spent the call resolves to an error :class:`Response` so the
+        workload can carry on degraded.
+        """
+        if not self.up:
+            raise OSError(f"{self.name} is crashed")
         mds = self._target(request.path)
         yield Timeout(self.engine, op_count * cal.CLIENT_OP_OVERHEAD_S)
-        yield from self.network.send(self.name, mds.name, cal.RPC_MESSAGE_BYTES)
-        response = yield mds.submit(request)
-        yield from self.network.send(mds.name, self.name, cal.RPC_MESSAGE_BYTES)
+        attempt = 0
+        backoff = self.retry.base_backoff_s
+        while True:
+            try:
+                response = yield from self._exchange(mds, request)
+                break
+            except TRANSIENT_ERRORS as exc:
+                self.stats.counter("rpc_failures").incr()
+                if attempt >= self.retry.max_retries:
+                    self.stats.counter("rpc_giveups").incr()
+                    return Response(
+                        ok=False, error=f"ETIMEDOUT: {exc}", rpcs=1
+                    )
+                attempt += 1
+                self.stats.counter("rpc_retries").incr()
+                yield Timeout(self.engine, backoff)
+                backoff = min(
+                    backoff * self.retry.multiplier, self.retry.max_backoff_s
+                )
         self.stats.counter("rpcs_sent").incr(op_count * max(1, response.rpcs))
         if response.rpcs > 1:
             # The MDS made us look up remotely before each create; pay the

@@ -51,6 +51,12 @@ class DecoupledClient:
         self._next_ino_offset = 0
         #: Counted-only ops (non-materialized performance runs).
         self.counted_ops = 0
+        #: What Local Persist has written to this client's disk: a
+        #: snapshot of the journal (and counted-op tally) at the last
+        #: persist point.  Survives a crash; lost only when the node's
+        #: disk dies with it (``crash(lose_disk=True)``).
+        self._persisted_events: list = []
+        self._persisted_counted = 0
 
     # -- inode provisioning -------------------------------------------------
     def assign_inodes(self, ino_range) -> None:
@@ -87,9 +93,10 @@ class DecoupledClient:
         if isinstance(names_or_count, int):
             n = names_or_count
             yield Timeout(self.engine, self._op_time(n))
+            self.counted_ops += n
             if self.persist_each:
                 yield from self.disk.write(n * WIRE_EVENT_BYTES)
-            self.counted_ops += n
+                self.note_local_persist()
             self.stats.counter("ops").incr(n)
             return n
         names = list(names_or_count)
@@ -107,6 +114,7 @@ class DecoupledClient:
             )
         if self.persist_each:
             yield from self.disk.write(len(names) * WIRE_EVENT_BYTES)
+            self.note_local_persist()
         self.stats.counter("ops").incr(len(names))
         return len(names)
 
@@ -124,6 +132,7 @@ class DecoupledClient:
         )
         if self.persist_each:
             yield from self.disk.write(WIRE_EVENT_BYTES)
+            self.note_local_persist()
         self.stats.counter("ops").incr(1)
         return ev
 
@@ -137,6 +146,7 @@ class DecoupledClient:
         )
         if self.persist_each:
             yield from self.disk.write(WIRE_EVENT_BYTES)
+            self.note_local_persist()
         self.stats.counter("ops").incr(1)
         return ev
 
@@ -150,6 +160,7 @@ class DecoupledClient:
         )
         if self.persist_each:
             yield from self.disk.write(WIRE_EVENT_BYTES)
+            self.note_local_persist()
         self.stats.counter("ops").incr(1)
         return ev
 
@@ -159,14 +170,70 @@ class DecoupledClient:
         """Events buffered locally and not yet merged/persisted."""
         return len(self.journal) + self.counted_ops
 
-    def crash(self) -> int:
+    @property
+    def persisted_events(self) -> int:
+        """Updates currently safe on this client's local disk."""
+        return len(self._persisted_events) + self._persisted_counted
+
+    def note_local_persist(self) -> None:
+        """Record that Local Persist just wrote the journal to disk.
+
+        Called by the mechanism (and by ``persist_each`` ops) after the
+        simulated disk write lands; from here on a plain crash can no
+        longer lose these updates.
+        """
+        self._persisted_events = list(self.journal.events)
+        self._persisted_counted = self.counted_ops
+        self.stats.counter("local_persists").incr()
+
+    def crash(self, lose_disk: bool = False) -> int:
         """Simulate a client crash: the in-memory journal is lost.
 
-        Returns the number of updates lost — the paper's warning about
-        'none'/'local' durability (§II-A): "if the client fails and stays
-        down then computation must be done again".
+        Updates Local Persist put on disk survive and can be read back
+        with :meth:`recover_local` — unless ``lose_disk`` says the whole
+        node (disk included) is gone, the failure that separates 'local'
+        from 'global' durability in §III-B.
+
+        Returns the number of updates lost for good if the client never
+        recovers its disk — the paper's warning about 'none'/'local'
+        durability (§II-A): "if the client fails and stays down then
+        computation must be done again".
         """
         lost = self.pending_events
         self.journal.clear()
         self.counted_ops = 0
+        if lose_disk:
+            self._persisted_events = []
+            self._persisted_counted = 0
+        self.stats.counter("crashes").incr()
         return lost
+
+    # -- recovery (process bodies) ------------------------------------------
+    def recover_local(self) -> Generator[Event, None, int]:
+        """Re-read the locally persisted journal image from disk.
+
+        The 'local' durability recovery path: "updates survive if the
+        client node recovers and reads local storage".  Returns the
+        number of updates restored into the in-memory journal.
+        """
+        n = self.persisted_events
+        yield from self.disk.read(n * WIRE_EVENT_BYTES)
+        self.journal.restore(self._persisted_events)
+        self.counted_ops = self._persisted_counted
+        self.stats.counter("recoveries").incr()
+        return n
+
+    def recover_global(self, striper) -> Generator[Event, None, int]:
+        """Restore the journal from its Global Persist copy.
+
+        Reads the striped journal object back from the object store —
+        works even after the client node (disk included) and the MDS's
+        memory are both gone, which is exactly the 'global' guarantee.
+        """
+        data = yield self.engine.process(striper.read_all(dst=self.name))
+        recovered = LocalJournal.deserialize(
+            self.engine, data, client_id=self.client_id
+        )
+        self.journal = recovered
+        self.stats.counter("recoveries").incr()
+        return len(recovered)

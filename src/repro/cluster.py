@@ -120,11 +120,12 @@ class Cluster:
             probe = probe.rsplit("/", 1)[0] or "/"
 
     # -- client factories ---------------------------------------------------
-    def new_client(self) -> Client:
+    def new_client(self, retry=None) -> Client:
         client = Client(
             self.engine, client_id=len(self._clients) + 1, mds=self.mds,
             network=self.network,
             router=self.mds_for if len(self.mds_list) > 1 else None,
+            retry=retry,
         )
         self._clients.append(client)
         return client

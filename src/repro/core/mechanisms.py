@@ -212,6 +212,9 @@ def mech_local_persist(ctx: MechanismContext) -> Generator[Event, None, None]:
         yield from ctx.dclient.journal.persist_local(ctx.dclient.disk)
     if ctx.counted:
         yield from ctx.dclient.disk.write(ctx.counted * WIRE_EVENT_BYTES)
+    # The image is on disk now: a plain client crash can no longer lose
+    # these updates (crash recovery reads them back via recover_local).
+    ctx.dclient.note_local_persist()
 
 
 def mech_global_persist(ctx: MechanismContext) -> Generator[Event, None, None]:

@@ -1,0 +1,12 @@
+"""Deterministic fault injection for the simulated Cudele stack.
+
+See :mod:`repro.faults.plan` for schedules and
+:mod:`repro.faults.injector` for execution; docs/FAULTS.md describes
+the fault model (what each component loses on a crash, and which
+durability mechanism gets it back).
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import Fault, FaultPlan
+
+__all__ = ["Fault", "FaultPlan", "FaultInjector"]

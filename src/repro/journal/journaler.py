@@ -68,6 +68,12 @@ class LocalJournal:
         self.events = []
         return out
 
+    def restore(self, events) -> None:
+        """Replace the buffer with already-stamped events (crash recovery:
+        the persisted image carries the original sequence numbers)."""
+        self.events = list(events)
+        self._next_seq = (self.events[-1].seq + 1) if self.events else 1
+
     @property
     def wire_bytes(self) -> int:
         """Simulated serialized size (2.5 KB/event, per the paper)."""

@@ -163,6 +163,21 @@ class MDSJournal:
         if pending:
             yield self.engine.all_of(pending)
 
+    def crash(self) -> int:
+        """Drop volatile journaling state on an MDS crash.
+
+        The open (not yet dispatched) segment and any counted-only
+        pending events lived in MDS memory and are lost; returns how
+        many.  Segment writes already in flight were submitted to the
+        object store before the crash and are allowed to land — recovery
+        replays whatever the striped journal holds.
+        """
+        lost = self._journaler.open_events + self._pending_count
+        self._journaler.take_segment()
+        self._pending_count = 0
+        self.events_logged -= lost
+        return lost
+
     # -- recovery / inspection ----------------------------------------------
     def read_all(self, dst: str = "mds") -> Generator[Event, None, list]:
         events = yield self.engine.process(self._journaler.read_all(dst=dst))

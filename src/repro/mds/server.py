@@ -31,13 +31,19 @@ from repro.mds.journal import MDSJournal
 from repro.mds.mdstore import FsError, MetadataStore
 from repro.rados.cluster import ObjectStore
 from repro.rados.striper import Striper
-from repro.sim.engine import Engine, Event, Timeout
+from repro.sim.engine import Engine, Event, Interrupt, Timeout
 from repro.sim.network import Network
 from repro.sim.resources import Store
 from repro.sim.rng import RngStream
 from repro.sim.stats import StatsRegistry
 
-__all__ = ["MDSConfig", "Request", "Response", "MetadataServer"]
+__all__ = [
+    "MDSConfig", "MDSDownError", "Request", "Response", "MetadataServer",
+]
+
+
+class MDSDownError(ConnectionError):
+    """A request reached (or was queued at) a crashed metadata server."""
 
 #: Per-directory-entry CPU cost of an ``ls`` scan — readdir is
 #: "notoriously heavy-weight" (§V-B3) and scales with directory size.
@@ -140,6 +146,9 @@ class MetadataServer:
         self._cpu_util = self.stats.utilization("cpu", capacity=1.0)
         self._loop = engine.process(self._serve_loop(), name=f"{name}.loop")
         self.running = True
+        self.up = True
+        #: Request currently being handled, so a crash can fail its reply.
+        self._current: Optional[tuple] = None
         self._last_ckpt_segments = 0
         self._ckpt_in_progress = False
 
@@ -147,8 +156,17 @@ class MetadataServer:
     # client entry point
     # ------------------------------------------------------------------
     def submit(self, request: Request) -> Event:
-        """Queue a request; returns the event that fires with a Response."""
+        """Queue a request; returns the event that fires with a Response.
+
+        Submitting to a crashed MDS fails the event immediately with
+        :class:`MDSDownError` (the connection-refused path) — callers
+        with a :class:`~repro.client.client.RetryPolicy` back off and
+        retry instead of deadlocking.
+        """
         done = self.engine.event()
+        if not self.up:
+            done.fail(MDSDownError(f"{self.name} is down"))
+            return done
         self._queue.put((request, done))
         return done
 
@@ -160,26 +178,40 @@ class MetadataServer:
     # request loop
     # ------------------------------------------------------------------
     def _serve_loop(self) -> Generator[Event, None, None]:
-        while True:
-            request, done = yield self._queue.get()
-            if request is None:  # shutdown sentinel
-                self.running = False
-                if done is not None:
-                    done.succeed(None)
-                return
-            self._cpu_util.set_level(1.0)
-            try:
-                response, commit_latency = yield from self._handle(request)
-            except Exception as exc:  # defensive: never kill the loop
-                response, commit_latency = (
-                    Response(ok=False, error=f"EIO: {exc}"),
-                    0.0,
-                )
-            self._cpu_util.set_level(0.0)
-            self._reply(done, response, commit_latency)
-            self._maybe_auto_checkpoint()
+        try:
+            while True:
+                request, done = yield self._queue.get()
+                if request is None:  # shutdown sentinel
+                    self.running = False
+                    if done is not None:
+                        done.succeed(None)
+                    return
+                self._current = (request, done)
+                self._cpu_util.set_level(1.0)
+                try:
+                    response, commit_latency = yield from self._handle(request)
+                except Interrupt:  # crash mid-request; crash() failed done
+                    return
+                except Exception as exc:  # defensive: never kill the loop
+                    response, commit_latency = (
+                        Response(ok=False, error=f"EIO: {exc}"),
+                        0.0,
+                    )
+                finally:
+                    self._cpu_util.set_level(0.0)
+                self._current = None
+                if not self.up:
+                    # Crashed while the handler was unwinding: the reply
+                    # event was already failed by crash(); the loop dies.
+                    return
+                self._reply(done, response, commit_latency)
+                self._maybe_auto_checkpoint()
+        except Interrupt:  # crash while idle on the queue
+            return
 
     def _reply(self, done: Event, response: Response, latency: float) -> None:
+        if done.triggered:  # crashed and already failed by crash()
+            return
         if latency > 0:
             self.engine.process(self._delayed_reply(done, response, latency))
         else:
@@ -189,13 +221,90 @@ class MetadataServer:
         self, done: Event, response: Response, latency: float
     ) -> Generator[Event, None, None]:
         yield Timeout(self.engine, latency)
-        done.succeed(response)
+        if not done.triggered:
+            done.succeed(response)
 
     def shutdown(self) -> Event:
         """Stop the serve loop after the queue drains."""
         done = self.engine.event()
         self._queue.put((None, done))
         return done
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def crash(self) -> dict:
+        """Fail-stop crash: everything in MDS memory is lost.
+
+        That is: the in-memory metadata store, the capability tracker,
+        the journal's open segment, and every queued/in-flight request
+        (their reply events fail with :class:`MDSDownError`).  Durable
+        state — streamed journal segments and checkpointed directory
+        fragments in the object store — survives and is what
+        :meth:`recover` rebuilds from.  Returns a summary of the losses.
+        """
+        if not self.up:
+            return {"journal_events_lost": 0, "requests_failed": 0}
+        self.up = False
+        self.stats.counter("crashes").incr()
+        lost_open = self.journal.crash()
+        failed = 0
+        if self._current is not None:
+            _, done = self._current
+            self._current = None
+            if done is not None and not done.triggered:
+                done.fail(MDSDownError(f"{self.name} crashed"))
+                failed += 1
+        while True:
+            item = self._queue.try_get()
+            if item is None:
+                break
+            _, done = item
+            if done is not None and not done.triggered:
+                done.fail(MDSDownError(f"{self.name} crashed"))
+                failed += 1
+        if self._loop.is_alive:
+            self._loop.interrupt("mds-crash")
+        self.running = False
+        self.mdstore = MetadataStore()
+        self.caps = CapTracker()
+        self._open_writers.clear()
+        self._synthetic_sizes.clear()
+        self._cpu_util.set_level(0.0)
+        self.stats.counter("requests_failed").incr(failed)
+        return {"journal_events_lost": lost_open, "requests_failed": failed}
+
+    def recover(self) -> Generator[Event, None, int]:
+        """Crash recovery from durable state only (process body).
+
+        Loads checkpointed directory fragments from the object store (if
+        any were written), then replays the streamed journal segments on
+        top — exactly the updates that were dispatched before the crash.
+        Updates that only ever lived in memory (the open segment, or
+        Volatile Apply merges that were never streamed) do not come
+        back.  Restarts the serve loop; returns events replayed.
+        """
+        if self.up:
+            raise RuntimeError(f"{self.name} is not crashed")
+        if self.config.materialize:
+            try:
+                self.mdstore = yield self.engine.process(
+                    MetadataStore.load_all(self.objstore, dst=self.name)
+                )
+            except Exception:
+                self.mdstore = MetadataStore()
+        events = yield self.engine.process(self.journal.read_all(dst=self.name))
+        yield from self._cpu(len(events) * cal.VOLATILE_APPLY_S)
+        if self.config.materialize:
+            JournalTool.apply(events, self.mdstore, skip_errors=True)
+        self.up = True
+        self._queue = Store(self.engine, name=f"{self.name}.queue")
+        self._loop = self.engine.process(
+            self._serve_loop(), name=f"{self.name}.loop"
+        )
+        self.running = True
+        self.stats.counter("recoveries").incr()
+        return len(events)
 
     def _maybe_auto_checkpoint(self) -> None:
         every = self.config.checkpoint_every_segments
@@ -238,6 +347,7 @@ class MetadataServer:
         yield from self._cpu(len(events) * cal.VOLATILE_APPLY_S)
         if self.config.materialize:
             JournalTool.apply(events, self.mdstore, skip_errors=True)
+        self.up = True
         if not self.running:
             self._loop = self.engine.process(
                 self._serve_loop(), name=f"{self.name}.loop"

@@ -112,6 +112,16 @@ class ObjectStore:
     def primary(self, pool_name: str, obj_name: str) -> OSD:
         return self.placement(pool_name, obj_name)[0]
 
+    def _serving_replica(self, pool_name: str, obj_name: str) -> OSD:
+        """The replica reads are served from: the primary, unless it lost
+        (or never got) the object — a recovered OSD is live again before
+        anything backfills it."""
+        replicas = self.placement(pool_name, obj_name)
+        for osd in replicas:
+            if osd.has_object(obj_name):
+                return osd
+        return replicas[0]
+
     # -- replicated I/O (process bodies) -------------------------------------
     def put(
         self,
@@ -163,8 +173,13 @@ class ObjectStore:
         length: Optional[int] = None,
         charge_bytes: Optional[int] = None,
     ) -> Generator[Event, None, bytes]:
-        """Read from the primary replica and ship bytes back to ``dst``."""
-        primary = self.primary(pool_name, obj_name)
+        """Read from the primary replica and ship bytes back to ``dst``.
+
+        A primary that just recovered may not hold objects written while
+        it was down; like Ceph after peering, the read is served by the
+        first replica that has the object.
+        """
+        primary = self._serving_replica(pool_name, obj_name)
         data = yield self.engine.process(
             primary.read_object(obj_name, offset, length, charge_bytes=charge_bytes),
             name=f"get:{obj_name}@{primary.name}",
@@ -207,15 +222,15 @@ class ObjectStore:
         return any(o.has_object(obj_name) for o in self.placement(pool_name, obj_name))
 
     def stat(self, pool_name: str, obj_name: str) -> int:
-        """Size in bytes of the primary copy."""
-        primary = self.primary(pool_name, obj_name)
+        """Size in bytes of the serving copy."""
+        primary = self._serving_replica(pool_name, obj_name)
         if not primary.has_object(obj_name):
             raise KeyError(f"no such object {obj_name!r} in pool {pool_name!r}")
         return len(primary.objects[obj_name])
 
     def peek(self, pool_name: str, obj_name: str) -> bytes:
         """Zero-cost read used by tests and recovery assertions."""
-        primary = self.primary(pool_name, obj_name)
+        primary = self._serving_replica(pool_name, obj_name)
         if not primary.has_object(obj_name):
             raise KeyError(f"no such object {obj_name!r} in pool {pool_name!r}")
         return primary.objects[obj_name].data

@@ -15,7 +15,15 @@ from repro.sim.engine import Engine, Event
 from repro.sim.stats import StatsRegistry
 from repro.rados.objects import RadosObject
 
-__all__ = ["OSD"]
+__all__ = ["OSD", "OSDDownError", "OSDCrashError"]
+
+
+class OSDDownError(ConnectionError):
+    """I/O submitted to an OSD that is marked down."""
+
+
+class OSDCrashError(IOError):
+    """The OSD crashed while this I/O was in flight."""
 
 
 class OSD:
@@ -40,18 +48,49 @@ class OSD:
         self.objects: Dict[str, RadosObject] = {}
         self.stats = StatsRegistry(engine, self.name)
         self.up = True
+        #: Bumped on every crash; an I/O that started under an older
+        #: epoch fails even if the OSD recovered while it was in flight.
+        self._epoch = 0
 
     # -- failure injection ----------------------------------------------
-    def fail(self) -> None:
-        """Mark the OSD down; subsequent I/O raises."""
+    def crash(self, lose_volatile: bool = False) -> None:
+        """Fail-stop crash: the daemon dies, in-flight I/O fails.
+
+        Durable object contents survive (they are on disk) unless
+        ``lose_volatile`` is set, which models losing the device along
+        with the daemon — the volatile object map AND the backing store
+        are gone, as after a node replacement.
+        """
+        if not self.up:
+            return
         self.up = False
+        self._epoch += 1
+        self.stats.counter("crashes").incr()
+        if lose_volatile:
+            self.objects.clear()
+            self.stats.counter("objects_lost").incr()
+
+    def fail(self) -> None:
+        """Mark the OSD down; subsequent I/O raises (alias of crash)."""
+        self.crash()
 
     def recover(self) -> None:
+        if self.up:
+            return
         self.up = True
+        self.stats.counter("recoveries").incr()
 
     def _check_up(self) -> None:
         if not self.up:
-            raise IOError(f"{self.name} is down")
+            raise OSDDownError(f"{self.name} is down")
+
+    def _check_survived(self, started_epoch: int, op: str, name: str) -> None:
+        """In-flight I/O dies with the daemon, even across a recovery."""
+        if not self.up or self._epoch != started_epoch:
+            self.stats.counter("failed_ios").incr()
+            raise OSDCrashError(
+                f"{self.name} crashed during {op} of {name!r}"
+            )
 
     # -- object I/O (process bodies) --------------------------------------
     def write_object(
@@ -68,8 +107,10 @@ class OSD:
         so journal writers charge the calibrated wire size.
         """
         self._check_up()
+        epoch = self._epoch
         self.stats.counter("writes").incr()
         yield from self.disk.write(len(data) if charge_bytes is None else charge_bytes)
+        self._check_survived(epoch, "write", name)
         obj = self.objects.get(name)
         if obj is None:
             obj = RadosObject(name)
@@ -89,12 +130,14 @@ class OSD:
     ) -> Generator[Event, None, bytes]:
         """Read an object's bytes, charging the disk."""
         self._check_up()
+        epoch = self._epoch
         obj = self.objects.get(name)
         if obj is None:
             raise KeyError(f"{self.name}: no such object {name!r}")
         data = obj.read(offset, length)
         self.stats.counter("reads").incr()
         yield from self.disk.read(len(data) if charge_bytes is None else charge_bytes)
+        self._check_survived(epoch, "read", name)
         return data
 
     def remove_object(self, name: str) -> None:

@@ -187,6 +187,13 @@ class Process(Event):
             raise SimulationError(f"cannot interrupt finished process {self.name}")
         target = self._waiting_on
         if target is not None:
+            if target.triggered and not target._ok:
+                # The awaited event has already failed; its exception is
+                # on the heap and about to be delivered.  Injecting an
+                # Interrupt now would detach the process from it and mask
+                # the original failure (the interrupt-during-crash race),
+                # so the interrupt is discarded in favour of the failure.
+                return
             try:
                 target.callbacks.remove(self._resume)
             except ValueError:
@@ -194,6 +201,9 @@ class Process(Event):
             resource = getattr(target, "resource", None)
             if resource is not None and not target.triggered:
                 resource.release(target)  # cancel the queued request
+            store = getattr(target, "store", None)
+            if store is not None and not target.triggered:
+                store.cancel(target)  # forget the queued getter
             self._waiting_on = None
         wake = Event(self.engine)
         wake.add_callback(lambda ev: self._throw(Interrupt(cause)))

@@ -10,12 +10,16 @@ serialized on the link.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Tuple
+from typing import Dict, FrozenSet, Generator, Set, Tuple
 
 from repro.sim.engine import Engine, Event, Timeout
 from repro.sim.resources import Resource
 
-__all__ = ["Link", "Network"]
+__all__ = ["Link", "Network", "PartitionError"]
+
+
+class PartitionError(ConnectionError):
+    """Raised when a transfer hits a severed endpoint pair."""
 
 
 class Link:
@@ -75,6 +79,9 @@ class Network:
         self.default_latency_s = latency_s
         self.default_bandwidth_bps = bandwidth_bps
         self._links: Dict[Tuple[str, str], Link] = {}
+        #: Severed endpoint pairs (undirected); see :meth:`partition`.
+        self._partitions: Set[FrozenSet[str]] = set()
+        self.messages_dropped = 0
 
     def link(self, src: str, dst: str) -> Link:
         """Get (creating if needed) the directed link ``src -> dst``."""
@@ -90,8 +97,31 @@ class Network:
             self._links[key] = lk
         return lk
 
+    # -- fault injection ---------------------------------------------------
+    def partition(self, a: str, b: str) -> None:
+        """Sever the (undirected) pair ``a <-> b``; transfers raise."""
+        self._partitions.add(frozenset((a, b)))
+
+    def heal(self, a: str, b: str) -> None:
+        """Restore connectivity between ``a`` and ``b``."""
+        self._partitions.discard(frozenset((a, b)))
+
+    def heal_all(self) -> None:
+        self._partitions.clear()
+
+    def is_partitioned(self, src: str, dst: str) -> bool:
+        return bool(self._partitions) and frozenset((src, dst)) in self._partitions
+
     def send(self, src: str, dst: str, nbytes: int) -> Generator[Event, None, None]:
-        """Process body transferring ``nbytes`` from ``src`` to ``dst``."""
+        """Process body transferring ``nbytes`` from ``src`` to ``dst``.
+
+        Raises :class:`PartitionError` when the pair is partitioned — the
+        message is charged nothing and dropped (fail-fast; retry policy
+        is the caller's concern, see ``repro.client.client.RetryPolicy``).
+        """
+        if self.is_partitioned(src, dst):
+            self.messages_dropped += 1
+            raise PartitionError(f"network partition between {src} and {dst}")
         yield from self.link(src, dst).transmit(nbytes)
 
     @property

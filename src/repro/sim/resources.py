@@ -16,7 +16,7 @@ from typing import Any, Optional
 
 from repro.sim.engine import Engine, Event, SimulationError
 
-__all__ = ["Resource", "Store", "Semaphore", "Request"]
+__all__ = ["Resource", "Store", "StoreGet", "Semaphore", "Request"]
 
 
 class Request(Event):
@@ -118,6 +118,21 @@ class Resource:
             nxt.succeed(self)
 
 
+class StoreGet(Event):
+    """Event returned by :meth:`Store.get`; fires with the next item.
+
+    Carries a ``store`` back-reference so :meth:`Process.interrupt` can
+    cancel a queued getter — otherwise a dead waiter (e.g. a crashed
+    daemon's request loop) would silently swallow the next ``put``.
+    """
+
+    __slots__ = ("store",)
+
+    def __init__(self, store: "Store"):
+        super().__init__(store.engine)
+        self.store = store
+
+
 class Store:
     """Unbounded FIFO of items with blocking ``get``."""
 
@@ -139,7 +154,7 @@ class Store:
 
     def get(self) -> Event:
         """Event that fires with the next item (immediately if available)."""
-        ev = Event(self.engine)
+        ev = StoreGet(self)
         if self._items:
             ev.succeed(self._items.popleft())
         else:
@@ -151,6 +166,13 @@ class Store:
         if self._items:
             return self._items.popleft()
         return None
+
+    def cancel(self, getter: Event) -> None:
+        """Forget a queued getter (its process was interrupted/crashed)."""
+        try:
+            self._getters.remove(getter)
+        except ValueError:
+            pass
 
 
 class Semaphore:

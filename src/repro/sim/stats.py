@@ -162,3 +162,24 @@ class StatsRegistry:
         yield from self._counters
         yield from self._series
         yield from self._utils
+
+    def snapshot(self) -> Dict[str, float]:
+        """Deterministic flat dump of this registry's state.
+
+        Counters by value, series by length and sum — sorted by name so
+        two identically-seeded runs render byte-identical output (the
+        fault injector's reproducibility contract leans on this).
+        """
+        out: Dict[str, float] = {}
+        for name in sorted(self._counters):
+            out[f"counter.{name}"] = float(self._counters[name].value)
+        for name in sorted(self._series):
+            s = self._series[name]
+            out[f"series.{name}.n"] = float(len(s))
+            out[f"series.{name}.sum"] = float(sum(s.values))
+        return out
+
+    def render(self) -> str:
+        """One canonical line per snapshot entry (``owner.key=value``)."""
+        snap = self.snapshot()
+        return "\n".join(f"{self.owner}.{k}={v!r}" for k, v in snap.items())

@@ -1,0 +1,128 @@
+"""Model-based fault testing: random ops, crashes and recoveries.
+
+Hypothesis drives random interleavings of client ops, persists, and
+component crash/recover cycles against a live cluster, checking the
+engine invariants (clock monotone, every driven process terminates)
+and the durability contract: what a component recovers is always a
+prefix-consistent subset of the operations it acknowledged.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.client.client import RetryPolicy
+from repro.cluster import Cluster
+from repro.core.mechanisms import MechanismContext, run_mechanism
+from repro.mds.server import MDSConfig
+
+pytestmark = pytest.mark.faults
+
+
+class FaultMachine(RuleBasedStateMachine):
+    """Oracle: plain Python lists model what each store should hold."""
+
+    def __init__(self):
+        super().__init__()
+        self.cluster = Cluster(
+            mds_config=MDSConfig(segment_events=8), seed=0
+        )
+        self.d = self.cluster.new_decoupled_client()
+        self.rc = self.cluster.new_client(
+            retry=RetryPolicy(max_retries=4, base_backoff_s=0.005)
+        )
+        self.last_now = 0.0
+        # Anchor directory for RPC creates; flush so it always survives.
+        self._run(self.rc.mkdir("/r"))
+        self._run(self.cluster.mds.journal.flush())
+        self.live = []       # model of the client's in-memory journal
+        self.disk = []       # model of its locally persisted image
+        self.mds_files = []  # RPC creates acked by the MDS, in order
+        self.counter = 0
+
+    def _run(self, gen=None):
+        """Drive a process to completion: termination is itself an
+        invariant (a hung recovery would never return), and the clock
+        must never move backwards."""
+        out = self.cluster.run(gen)
+        assert self.cluster.now >= self.last_now, "clock moved backwards"
+        self.last_now = self.cluster.now
+        return out
+
+    def _names(self, n):
+        names = [f"f{self.counter + i}" for i in range(n)]
+        self.counter += n
+        return names
+
+    # -- decoupled client ------------------------------------------------
+    @rule(n=st.integers(1, 5))
+    def create_local(self, n):
+        names = self._names(n)
+        self._run(self.d.create_many("/sub", names))
+        self.live += [f"/sub/{x}" for x in names]
+
+    @rule()
+    def persist_local(self):
+        ctx = MechanismContext(self.cluster, "/sub", self.d)
+        self._run(run_mechanism("local_persist", ctx))
+        if self.live:  # persisting an empty journal is a no-op
+            self.disk = list(self.live)
+
+    @rule()
+    def crash_client(self):
+        self.d.crash()
+        self.live = []
+
+    @rule()
+    def recover_client(self):
+        self._run(self.d.recover_local())
+        self.live = list(self.disk)
+
+    # -- RPC client + MDS ------------------------------------------------
+    @precondition(lambda self: self.cluster.mds.up)
+    @rule(n=st.integers(1, 6))
+    def create_rpc(self, n):
+        names = self._names(n)
+        resp = self._run(self.rc.create_many("/r", names))
+        assert resp.ok
+        self.mds_files += [f"/r/{x}" for x in names]
+
+    @precondition(lambda self: self.cluster.mds.up)
+    @rule()
+    def crash_and_recover_mds(self):
+        mds = self.cluster.mds
+        mds.crash()
+        self._run(mds.recover())
+        flags = [mds.mdstore.exists(p) for p in self.mds_files]
+        # Prefix consistency: the recovered namespace never has a later
+        # acked create without every earlier one.
+        assert flags == sorted(flags, reverse=True), (
+            f"recovery left a hole: {list(zip(self.mds_files, flags))}"
+        )
+        self.mds_files = [p for p, ok in zip(self.mds_files, flags) if ok]
+
+    # -- invariants -------------------------------------------------------
+    @invariant()
+    def journal_matches_model(self):
+        assert [e.path for e in self.d.journal.events] == self.live
+
+    @invariant()
+    def acked_rpc_files_exist(self):
+        for path in self.mds_files:
+            assert self.cluster.mds.mdstore.exists(path)
+
+    @invariant()
+    def engine_is_quiescent(self):
+        # Between steps nothing should be left to run: no re-triggered
+        # events, no stranded retries, no hung recovery processes.
+        # Draining an already-drained engine must be a no-op in time.
+        before = self.cluster.now
+        self._run()
+        assert self.cluster.now == before
+
+
+FaultMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=30, deadline=None
+)
+TestFaultModel = FaultMachine.TestCase

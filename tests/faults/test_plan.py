@@ -1,0 +1,64 @@
+"""Unit tests for fault schedules."""
+
+import pytest
+
+from repro.faults.plan import Fault, FaultPlan
+
+pytestmark = pytest.mark.faults
+
+
+def test_builders_chain_and_sort_by_time_then_insertion():
+    plan = (
+        FaultPlan()
+        .recover(2.0, "mds0")
+        .crash(1.0, "mds0")
+        .crash(1.0, "osd.0")
+    )
+    ordered = plan.sorted_faults()
+    assert [(f.time, f.action, f.target) for f in ordered] == [
+        (1.0, "crash", "mds0"),
+        (1.0, "crash", "osd.0"),
+        (2.0, "recover", "mds0"),
+    ]
+    assert len(plan) == 3
+
+
+def test_partition_carries_the_pair_in_params():
+    plan = FaultPlan().partition(0.5, "client1", "mds0").heal(1.5, "client1", "mds0")
+    sever, heal = plan.sorted_faults()
+    assert sever.action == "partition"
+    assert sever.params == {"a": "client1", "b": "mds0"}
+    assert heal.action == "heal"
+
+
+def test_unknown_action_rejected():
+    with pytest.raises(ValueError, match="unknown fault action"):
+        Fault(1.0, "explode", "mds0")
+
+
+def test_negative_time_rejected():
+    with pytest.raises(ValueError, match="negative"):
+        Fault(-1.0, "crash", "mds0")
+
+
+def test_describe_is_stable_text():
+    plan = FaultPlan().crash(0.25, "dclient1001", lose_disk=True)
+    assert plan.describe() == "t=0.250000 crash dclient1001 [lose_disk=True]"
+
+
+def test_random_plan_pairs_crash_with_recover_inside_horizon():
+    plan = FaultPlan.random(3, ["mds0", "osd.1"], horizon_s=5.0, n_faults=4)
+    faults = plan.faults  # insertion order: crash/recover pairs
+    assert len(faults) == 8
+    for crash, recover in zip(faults[0::2], faults[1::2]):
+        assert crash.action == "crash"
+        assert recover.action == "recover"
+        assert recover.target == crash.target
+        assert crash.time < recover.time <= 5.0
+
+
+def test_random_plan_requires_targets_and_horizon():
+    with pytest.raises(ValueError):
+        FaultPlan.random(0, [], horizon_s=1.0)
+    with pytest.raises(ValueError):
+        FaultPlan.random(0, ["mds0"], horizon_s=0.0)

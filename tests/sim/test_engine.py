@@ -426,3 +426,90 @@ def test_interrupt_while_holding_resource_is_callers_problem():
     eng.run()
     assert log == ["interrupted"]
     assert res.in_use == 0
+
+
+# ---------------------------------------------------------------------------
+# interrupts racing failures (the fault-injection path)
+# ---------------------------------------------------------------------------
+
+
+def test_interrupt_does_not_mask_already_failed_event():
+    """A process waiting on an event that has already *failed* must see
+    the original failure, not a later Interrupt delivered in the same
+    step (regression: the interrupt used to overwrite the resume and
+    the real error was silently replaced)."""
+    eng = Engine()
+    evt = eng.event()
+    outcome = []
+
+    def waiter():
+        try:
+            yield evt
+        except ValueError as exc:
+            outcome.append(("failure", str(exc)))
+        except Interrupt:
+            outcome.append(("interrupt", None))
+
+    proc = eng.process(waiter())
+
+    def killer():
+        yield Timeout(eng, 1.0)
+        evt.fail(ValueError("disk died"))
+        proc.interrupt("crash")  # arrives after the failure: discarded
+
+    eng.process(killer())
+    eng.run()
+    assert outcome == [("failure", "disk died")]
+
+
+def test_interrupt_still_lands_while_waiting_on_timeout():
+    """Timeouts trigger (successfully) at construction; interrupting a
+    process sleeping on one must still deliver the Interrupt."""
+    eng = Engine()
+    outcome = []
+
+    def sleeper():
+        try:
+            yield Timeout(eng, 10.0)
+            outcome.append("slept")
+        except Interrupt as exc:
+            outcome.append(("interrupt", exc.cause))
+
+    proc = eng.process(sleeper())
+
+    def killer():
+        yield Timeout(eng, 1.0)
+        proc.interrupt("wake up")
+
+    eng.process(killer())
+    eng.run()
+    assert outcome == [("interrupt", "wake up")]
+
+
+def test_interrupted_store_get_does_not_swallow_next_put():
+    """Interrupting a process blocked on Store.get must remove its
+    queued getter; the next put belongs to the next live consumer."""
+    from repro.sim.resources import Store
+
+    eng = Engine()
+    store = Store(eng)
+    got = []
+
+    def getter(name):
+        try:
+            item = yield store.get()
+            got.append((name, item))
+        except Interrupt:
+            return
+
+    first = eng.process(getter("dead"))
+    eng.process(getter("live"))
+
+    def driver():
+        yield Timeout(eng, 1.0)
+        first.interrupt("crash")
+        store.put("item")
+
+    eng.process(driver())
+    eng.run()
+    assert got == [("live", "item")]
