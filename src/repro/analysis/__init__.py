@@ -1,0 +1,68 @@
+"""Static-analysis gates for the reproduction.
+
+Three analyzers keep the simulation's correctness invariants
+machine-checked (see ``docs/ANALYSIS.md``):
+
+* :mod:`repro.analysis.simlint` — AST determinism lint over the source
+  tree (wall clocks, global RNGs, hash-order iteration, yieldless
+  process bodies, shared mutable state),
+* :mod:`repro.analysis.races` — opt-in same-instant race detection over
+  registered shared resources (metadata stores, inode tables, the
+  object store, client journals),
+* :mod:`repro.analysis.checker` — composition/policy static checking
+  against the mechanism dependency DAG before anything executes.
+
+CLI: ``python -m repro.analysis src/`` (lint) and
+``python -m repro.analysis check ...`` (compositions / policy sets).
+"""
+
+from repro.analysis.checker import (
+    CheckError,
+    CompositionError,
+    MECHANISM_DEPENDENCIES,
+    PolicySet,
+    PolicySetError,
+    check_inotable,
+    check_plan,
+    check_policy,
+    check_policy_set,
+    parse_policy_set,
+    policy_set_warnings,
+)
+from repro.analysis.findings import Finding, Suppression
+from repro.analysis.races import (
+    Access,
+    Race,
+    RaceDetector,
+    RaceError,
+    watch_cluster,
+)
+from repro.analysis.rules import RULES, register_rule, rule_catalog
+from repro.analysis.simlint import LintReport, lint_paths, lint_source
+
+__all__ = [
+    "Access",
+    "CheckError",
+    "CompositionError",
+    "Finding",
+    "LintReport",
+    "MECHANISM_DEPENDENCIES",
+    "PolicySet",
+    "PolicySetError",
+    "Race",
+    "RaceDetector",
+    "RaceError",
+    "RULES",
+    "Suppression",
+    "check_inotable",
+    "check_plan",
+    "check_policy",
+    "check_policy_set",
+    "lint_paths",
+    "lint_source",
+    "parse_policy_set",
+    "policy_set_warnings",
+    "register_rule",
+    "rule_catalog",
+    "watch_cluster",
+]

@@ -1,0 +1,151 @@
+"""Command-line entry: ``python -m repro.analysis``.
+
+Usage::
+
+    python -m repro.analysis [lint] [--rules a,b] [--stats] PATH...
+    python -m repro.analysis check --composition "a+b||c" ...
+    python -m repro.analysis check --policies policies.cudele ...
+    python -m repro.analysis rules
+
+``lint`` (the default when the first argument is a path) runs simlint
+and exits 0 only when every finding is fixed or suppressed; ``check``
+statically validates compositions and versioned policy sets; ``rules``
+prints the rule catalog.  Exit codes: 0 clean, 1 findings/errors,
+2 usage error.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.checker import (
+    PolicySetError,
+    check_plan,
+    check_policy_set,
+    parse_policy_set,
+    policy_set_warnings,
+)
+from repro.analysis.rules import rule_catalog
+from repro.analysis.simlint import lint_paths
+
+USAGE = __doc__ or ""
+
+
+def _lint(argv: List[str]) -> int:
+    rules: Optional[List[str]] = None
+    show_stats = False
+    paths: List[str] = []
+    it = iter(argv)
+    for arg in it:
+        if arg == "--rules":
+            spec = next(it, None)
+            if spec is None:
+                print("--rules requires a comma-separated list", file=sys.stderr)
+                return 2
+            rules = [r.strip() for r in spec.split(",") if r.strip()]
+        elif arg == "--stats":
+            show_stats = True
+        elif arg.startswith("-"):
+            print(f"unknown lint option {arg!r}", file=sys.stderr)
+            return 2
+        else:
+            paths.append(arg)
+    if not paths:
+        print("lint requires at least one file or directory", file=sys.stderr)
+        return 2
+    try:
+        report = lint_paths(paths, rules=rules)
+    except (FileNotFoundError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(report.render())
+    if show_stats:
+        for where, count in sorted(report.suppression_counts.items()):
+            print(f"suppression {where}: waived {count} finding(s)")
+    return 0 if report.ok else 1
+
+
+def _check(argv: List[str]) -> int:
+    compositions: List[str] = []
+    policy_files: List[str] = []
+    it = iter(argv)
+    for arg in it:
+        if arg == "--composition":
+            value = next(it, None)
+            if value is None:
+                print("--composition requires an expression", file=sys.stderr)
+                return 2
+            compositions.append(value)
+        elif arg == "--policies":
+            value = next(it, None)
+            if value is None:
+                print("--policies requires a file path", file=sys.stderr)
+                return 2
+            policy_files.append(value)
+        else:
+            print(f"unknown check argument {arg!r}", file=sys.stderr)
+            return 2
+    if not compositions and not policy_files:
+        print("check requires --composition and/or --policies", file=sys.stderr)
+        return 2
+    failed = False
+    for text in compositions:
+        errors = check_plan(text)
+        if errors:
+            failed = True
+            for err in errors:
+                print(f"composition {text!r}: {err.render()}")
+        else:
+            print(f"composition {text!r}: ok")
+    for path in policy_files:
+        try:
+            source = Path(path).read_text()
+        except OSError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        try:
+            ps = parse_policy_set(source)
+        except PolicySetError as exc:
+            failed = True
+            for err in exc.errors:
+                print(f"{path}: {err.render()}")
+            continue
+        errors = check_policy_set(ps)
+        for err in errors:
+            print(f"{path}: {err.render()}")
+        for warning in policy_set_warnings(ps):
+            print(f"{path}: warning: {warning}")
+        if errors:
+            failed = True
+        else:
+            print(f"{path}: ok ({len(ps.subtrees)} subtree(s), "
+                  f"version {ps.version})")
+    return 1 if failed else 0
+
+
+def _rules() -> int:
+    for rule_id, summary in rule_catalog().items():
+        print(f"{rule_id}: {summary}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help", "help"):
+        print(USAGE.strip())
+        return 0 if argv else 2
+    cmd, rest = argv[0], argv[1:]
+    if cmd == "lint":
+        return _lint(rest)
+    if cmd == "check":
+        return _check(rest)
+    if cmd == "rules":
+        return _rules()
+    # Default: treat every argument as a lint target/option.
+    return _lint(argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,93 @@
+"""Finding and suppression primitives shared by the analyzers.
+
+A :class:`Finding` is one diagnostic anchored to ``file:line:col`` with a
+rule id; the CLI and the tier-1 repo-clean gate both consume them.
+Suppressions are in-source waivers written as::
+
+    engine.tick()  # simlint: ignore[<rule>] host-side progress meter
+
+or, as a standalone comment, applying to the next source line::
+
+    # simlint: ignore[<rule>] integer sum; order cannot reach output
+    total = sum(sizes.values())
+
+(with ``<rule>`` an actual rule id; the angle brackets here keep these
+doc examples from registering as live suppressions).
+
+Every suppression must name the rule(s) it waives; matches are counted so
+reports can say how much is suppressed, and suppressions that never match
+anything are themselves reported (rule ``unused-suppression``) to keep
+stale waivers out of the tree.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+__all__ = ["Finding", "Suppression", "parse_suppressions", "SUPPRESS_RE"]
+
+SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*ignore\[(?P<rules>[a-z0-9_*,\s-]+)\]"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic: where, which rule, and why."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+
+@dataclass
+class Suppression:
+    """One ``# simlint: ignore[...]`` comment and its match bookkeeping."""
+
+    path: str
+    #: Line the comment sits on (1-based).
+    comment_line: int
+    #: Line whose findings it waives (same line, or the next for
+    #: standalone comments).
+    target_line: int
+    rules: Tuple[str, ...]
+    matched: int = 0
+    #: Which rules actually matched (for unused-rule reporting).
+    matched_rules: List[str] = field(default_factory=list)
+
+    def covers(self, finding: Finding) -> bool:
+        return (
+            finding.line == self.target_line
+            and ("*" in self.rules or finding.rule in self.rules)
+        )
+
+
+def parse_suppressions(path: str, source: str) -> List[Suppression]:
+    """Extract every suppression comment from ``source``.
+
+    A comment on a code line waives findings on that line; a comment on
+    its own line waives findings on the following line.
+    """
+    out: List[Suppression] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = SUPPRESS_RE.search(text)
+        if m is None:
+            continue
+        rules = tuple(
+            r.strip() for r in m.group("rules").split(",") if r.strip()
+        )
+        standalone = text.lstrip().startswith("#")
+        target = lineno + 1 if standalone else lineno
+        out.append(
+            Suppression(
+                path=path, comment_line=lineno, target_line=target, rules=rules
+            )
+        )
+    return out

@@ -1,0 +1,290 @@
+"""Same-instant race detector for the discrete-event engine.
+
+Two processes that touch the same shared resource at the same simulated
+timestamp are ordered only by the engine's seq tie-breaker — a schedule
+artifact, not a modeled guarantee.  If at least one access is a write
+and neither process happens-before the other, the outcome depends on
+dispatch order and would silently change under any engine refactor.
+This detector makes that class of bug fail loudly in tests instead of
+drifting benchmark numbers.
+
+Happens-before is event causality as the engine dispatches it: the
+process that succeeds an event happens-before every process the event
+resumes (``Event.triggered_by`` / ``Process.last_resumed_by``, recorded
+by :mod:`repro.sim.engine`), and a spawner happens-before the processes
+it spawns.  The relation is walked transitively at access time.
+
+Usage::
+
+    det = RaceDetector(engine)
+    det.watch(mds.mdstore, "mds0.mdstore",
+              reads=("resolve",), writes=("mkdir", "create"))
+    ... run the scenario ...
+    det.check()        # raises RaceError listing conflicting accesses
+
+or ``watch_cluster(det, cluster)`` to register the standard shared
+resources (metadata stores, inode tables, the object store, client
+journals) in one call.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.sim.engine import Engine, Process
+
+__all__ = ["Access", "Race", "RaceError", "RaceDetector", "watch_cluster"]
+
+
+@dataclass(frozen=True)
+class Access:
+    """One recorded read or write of a shared resource."""
+
+    t: float
+    order: int
+    kind: str  # "read" | "write"
+    resource: str
+    key: Any
+    process_name: str
+    #: Names of processes known to happen-before this access at this
+    #: instant (the transitive trigger chain, captured at access time).
+    ancestors: FrozenSet[str]
+
+    def render(self) -> str:
+        return (
+            f"t={self.t:.9f} {self.kind:5s} {self.resource}"
+            f"[{self.key!r}] by {self.process_name}"
+        )
+
+
+@dataclass(frozen=True)
+class Race:
+    """A same-instant conflicting access pair with no ordering edge."""
+
+    t: float
+    resource: str
+    key: Any
+    first: Access
+    second: Access
+
+    def render(self) -> str:
+        return (
+            f"race at t={self.t:.9f} on {self.resource}[{self.key!r}]: "
+            f"{self.first.kind} by {self.first.process_name} vs "
+            f"{self.second.kind} by {self.second.process_name} "
+            "(no happens-before edge; outcome depends on dispatch order)"
+        )
+
+
+class RaceError(AssertionError):
+    """Raised by :meth:`RaceDetector.check` when races were found."""
+
+    def __init__(self, races: List[Race]):
+        self.races = races
+        lines = [r.render() for r in races[:20]]
+        if len(races) > 20:
+            lines.append(f"... and {len(races) - 20} more")
+        super().__init__(
+            f"{len(races)} same-instant race(s) detected:\n" + "\n".join(lines)
+        )
+
+
+def _ancestry(process: Optional[Process]) -> FrozenSet[str]:
+    """Names of processes that happen-before ``process`` right now.
+
+    Walks the resume-trigger chain: who succeeded the event that resumed
+    me, who resumed *them*, and so on.  The chain is finite (each hop
+    moves strictly earlier in dispatch order); a visited-set guards
+    against self-triggering (e.g. a process waking on its own Timeout).
+    """
+    names = set()
+    seen = set()
+    cur = process
+    while cur is not None and id(cur) not in seen:
+        seen.add(id(cur))
+        ev = cur.last_resumed_by
+        if ev is None:
+            break
+        nxt = ev.triggered_by
+        if nxt is None or nxt is cur:
+            break
+        names.add(nxt.name)
+        cur = nxt
+    return frozenset(names)
+
+
+class RaceDetector:
+    """Opt-in engine instrumentation recording shared-resource accesses.
+
+    Zero accesses are recorded until resources are registered, and the
+    engine itself is untouched — the detector wraps bound methods on the
+    watched objects, so production runs pay nothing.
+    """
+
+    def __init__(self, engine: Engine, max_races: int = 1000):
+        self.engine = engine
+        self.max_races = max_races
+        self.races: List[Race] = []
+        self.accesses_recorded = 0
+        self._batch_t: Optional[float] = None
+        self._batch: List[Access] = []
+        self._order = 0
+        self._unpatchers: List[Callable[[], None]] = []
+
+    # -- recording -------------------------------------------------------
+    def record(self, kind: str, resource: str, key: Any = None) -> None:
+        """Record one access by the currently-executing process.
+
+        Host-context accesses (no active process) are ignored: the host
+        driver runs strictly between engine steps and cannot race.
+        """
+        if kind not in ("read", "write"):
+            raise ValueError(f"kind must be 'read' or 'write', got {kind!r}")
+        proc = self.engine.active_process
+        if proc is None:
+            return
+        now = self.engine.now
+        if self._batch_t is not None and now != self._batch_t:
+            self._analyze()
+        self._batch_t = now
+        self._order += 1
+        self.accesses_recorded += 1
+        self._batch.append(
+            Access(
+                t=now,
+                order=self._order,
+                kind=kind,
+                resource=resource,
+                key=key,
+                process_name=proc.name,
+                ancestors=_ancestry(proc),
+            )
+        )
+
+    # -- instrumentation -------------------------------------------------
+    def watch(
+        self,
+        obj: Any,
+        resource: str,
+        reads: Tuple[str, ...] = (),
+        writes: Tuple[str, ...] = (),
+        key: Optional[Callable[[tuple, dict], Any]] = None,
+    ) -> None:
+        """Wrap the named methods of ``obj`` to record accesses.
+
+        ``key`` maps ``(args, kwargs)`` of each call to the conflict
+        key; the default uses the first positional argument (or None
+        for argument-less methods like ``InoTable.allocate``).
+        """
+        key_fn = key or (lambda args, kwargs: args[0] if args else None)
+        for kind, names in (("read", reads), ("write", writes)):
+            for name in names:
+                original = getattr(obj, name)
+
+                def wrapper(*args, _orig=original, _kind=kind, _name=name,
+                            **kwargs):
+                    self.record(_kind, resource, key_fn(args, kwargs))
+                    return _orig(*args, **kwargs)
+
+                functools.update_wrapper(wrapper, original)
+                setattr(obj, name, wrapper)
+                self._unpatchers.append(
+                    functools.partial(_restore, obj, name, original)
+                )
+
+    def detach(self) -> None:
+        """Remove every method wrapper installed by :meth:`watch`."""
+        while self._unpatchers:
+            self._unpatchers.pop()()
+
+    # -- analysis --------------------------------------------------------
+    def _analyze(self) -> None:
+        """Close the current instant: flag unordered conflicting pairs."""
+        batch, self._batch = self._batch, []
+        t, self._batch_t = self._batch_t, None
+        by_key: Dict[Tuple[str, Any], List[Access]] = {}
+        for acc in batch:
+            by_key.setdefault((acc.resource, acc.key), []).append(acc)
+        for (resource, key_), accs in by_key.items():
+            for i, a in enumerate(accs):
+                for b in accs[i + 1:]:
+                    if a.process_name == b.process_name:
+                        continue
+                    if a.kind == "read" and b.kind == "read":
+                        continue
+                    if (
+                        a.process_name in b.ancestors
+                        or b.process_name in a.ancestors
+                    ):
+                        continue
+                    if len(self.races) >= self.max_races:
+                        return
+                    self.races.append(
+                        Race(t=t, resource=resource, key=key_,
+                             first=a, second=b)
+                    )
+
+    def flush(self) -> None:
+        """Analyze any still-buffered instant (call after the run ends)."""
+        if self._batch:
+            self._analyze()
+
+    def check(self) -> None:
+        """Flush and raise :class:`RaceError` if any race was recorded."""
+        self.flush()
+        if self.races:
+            raise RaceError(self.races)
+
+    def report(self) -> str:
+        self.flush()
+        if not self.races:
+            return (
+                f"no races in {self.accesses_recorded} recorded access(es)\n"
+            )
+        return "\n".join(r.render() for r in self.races) + "\n"
+
+
+def _restore(obj: Any, name: str, original: Any) -> None:
+    # Instance-level wrappers shadow the class attribute; deleting the
+    # instance attribute re-exposes the original bound method.
+    try:
+        delattr(obj, name)
+    except AttributeError:
+        setattr(obj, name, original)
+
+
+def watch_cluster(detector: RaceDetector, cluster: Any) -> RaceDetector:
+    """Register a cluster's standard shared resources with ``detector``.
+
+    Covers each MDS's metadata store and inode table, the object store,
+    and every decoupled client's journal — the structures the paper's
+    mechanisms contend on.
+    """
+    for mds in cluster.mds_list:
+        detector.watch(
+            mds.mdstore, f"{mds.name}.mdstore",
+            reads=("resolve", "listdir", "exists"),
+            writes=("mkdir", "create", "unlink", "rmdir", "rename",
+                    "setattr", "apply_event", "set_policy"),
+        )
+        detector.watch(
+            mds.mdstore.inotable, f"{mds.name}.inotable",
+            reads=("is_consumed", "owner_of"),
+            writes=("allocate", "provision", "mark_consumed",
+                    "note_external", "release_unused"),
+        )
+    detector.watch(
+        cluster.objstore, "objstore",
+        reads=("stat", "peek"),
+        writes=("put", "append", "remove", "read_modify_write"),
+        key=lambda args, kwargs: tuple(args[:2]) if len(args) >= 2 else None,
+    )
+    for dclient in getattr(cluster, "_dclients", []):
+        detector.watch(
+            dclient.journal, f"{dclient.name}.journal",
+            writes=("append", "extend", "clear", "drain", "restore"),
+            key=lambda args, kwargs: None,
+        )
+    return detector

@@ -1,0 +1,144 @@
+"""simlint: the repo's determinism lint pass.
+
+Parses Python sources under the given paths, runs the rule catalog from
+:mod:`repro.analysis.rules`, honors ``simlint: ignore`` suppression
+comments, and reports :class:`~repro.analysis.findings.Finding`
+objects.  The tier-1 suite lints the real ``src/`` tree and requires
+zero unsuppressed findings, making determinism a standing CI gate.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.findings import Finding, Suppression, parse_suppressions
+from repro.analysis.rules import RULES
+
+__all__ = ["LintReport", "lint_source", "lint_paths"]
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run over a set of files."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    suppressions: List[Suppression] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    @property
+    def suppression_counts(self) -> Dict[str, int]:
+        """``path:line`` of each suppression comment -> findings waived."""
+        return {
+            f"{s.path}:{s.comment_line}": s.matched for s in self.suppressions
+        }
+
+    def render(self) -> str:
+        lines = [f.render() for f in self.findings]
+        lines.append(
+            f"{len(self.findings)} finding(s), "
+            f"{len(self.suppressed)} suppressed, "
+            f"{self.files_checked} file(s) checked"
+        )
+        return "\n".join(lines)
+
+
+def _select_rules(rules: Optional[Sequence[str]]) -> Dict[str, object]:
+    if rules is None:
+        return dict(RULES)
+    unknown = sorted(set(rules) - set(RULES))
+    if unknown:
+        raise ValueError(f"unknown rule id(s) {unknown}; known: {sorted(RULES)}")
+    return {rid: RULES[rid] for rid in rules}
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Lint one source blob; suppression comments are honored."""
+    report = LintReport(files_checked=1)
+    selected = _select_rules(rules)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        report.findings.append(
+            Finding(path, exc.lineno or 0, exc.offset or 0, "syntax-error",
+                    f"cannot parse: {exc.msg}")
+        )
+        return report
+    suppressions = parse_suppressions(path, source)
+    report.suppressions = suppressions
+    raw: List[Finding] = []
+    for rule_id, fn in selected.items():
+        for line, col, message in fn(tree, path):
+            raw.append(Finding(path, line, col, rule_id, message))
+    for finding in sorted(raw):
+        waiver = next((s for s in suppressions if s.covers(finding)), None)
+        if waiver is not None:
+            waiver.matched += 1
+            waiver.matched_rules.append(finding.rule)
+            report.suppressed.append(finding)
+        else:
+            report.findings.append(finding)
+    # A suppression that waived nothing is itself a defect: it hides the
+    # rule from future readers while guarding dead code.  One that names
+    # a rule id the catalog has never heard of is a typo.
+    for s in suppressions:
+        unknown = sorted(set(s.rules) - set(RULES) - {"*"})
+        if unknown:
+            report.findings.append(
+                Finding(
+                    path, s.comment_line, 0, "unknown-suppression",
+                    f"suppression names unknown rule(s) {unknown}; "
+                    f"known: {sorted(RULES)}",
+                )
+            )
+        elif s.matched == 0 and ("*" in s.rules or set(s.rules) & set(selected)):
+            report.findings.append(
+                Finding(
+                    path, s.comment_line, 0, "unused-suppression",
+                    f"suppression for {', '.join(s.rules)} matched no "
+                    "finding; delete it",
+                )
+            )
+    report.findings.sort()
+    return report
+
+
+def iter_python_files(paths: Iterable[str]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            out.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            out.append(p)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {raw}")
+    return sorted(set(out))
+
+
+def lint_paths(
+    paths: Iterable[str],
+    rules: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    combined = LintReport()
+    for file in iter_python_files(paths):
+        one = lint_source(file.read_text(), str(file), rules=rules)
+        combined.findings.extend(one.findings)
+        combined.suppressed.extend(one.suppressed)
+        combined.suppressions.extend(one.suppressions)
+        combined.files_checked += 1
+    combined.findings.sort()
+    return combined

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
-from repro import calibration as cal
 from repro.bench.harness import ExperimentResult, Series, aggregate
 from repro.bench.scales import Scale, get_scale
 from repro.cluster import Cluster

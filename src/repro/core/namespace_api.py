@@ -176,6 +176,12 @@ class Cudele:
             policy = SubtreePolicy()
         elif isinstance(policy, str):
             policy = parse_policies(policy)
+        # Static gate: reject compositions whose mechanism dependencies
+        # cannot hold (e.g. nonvolatile_apply with no journal upstream)
+        # before any simulated work happens.
+        from repro.analysis.checker import check_plan
+
+        check_plan(policy.plan, raise_on_error=True)
         self._ensure_path(path)
         if policy.is_decoupled and dclient is None:
             dclient = self.cluster.new_decoupled_client(persist_each=persist_each)
@@ -256,6 +262,9 @@ class Cudele:
         """
         if isinstance(new_policy, str):
             new_policy = parse_policies(new_policy)
+        from repro.analysis.checker import check_plan
+
+        check_plan(new_policy.plan, raise_on_error=True)
         old_c, old_d = _policy_semantics(ns.policy)
         new_c, new_d = _policy_semantics(new_policy)
         ctx = MechanismContext(

@@ -150,4 +150,5 @@ class OSD:
 
     @property
     def stored_bytes(self) -> int:
+        # simlint: ignore[float-accum] integer byte counts; hot path, order-free
         return sum(len(o) for o in self.objects.values())

@@ -65,7 +65,7 @@ class Event:
     runs their callbacks (resuming any waiting processes).
     """
 
-    __slots__ = ("engine", "_state", "_value", "_ok", "callbacks")
+    __slots__ = ("engine", "_state", "_value", "_ok", "callbacks", "triggered_by")
 
     def __init__(self, engine: "Engine"):
         self.engine = engine
@@ -73,6 +73,10 @@ class Event:
         self._value: Any = None
         self._ok = True
         self.callbacks: list[Callable[["Event"], None]] = []
+        #: The process that triggered this event (None for host context).
+        #: Gives analysis tooling (repro.analysis.races) the causality
+        #: edge "whoever succeeded the event happens-before its waiters".
+        self.triggered_by: Optional["Process"] = None
 
     # -- inspection ----------------------------------------------------
     @property
@@ -103,6 +107,7 @@ class Event:
         self._state = _TRIGGERED
         self._value = value
         self._ok = True
+        self.triggered_by = self.engine._active
         self.engine._schedule(self, delay)
         return self
 
@@ -115,6 +120,7 @@ class Event:
         self._state = _TRIGGERED
         self._value = exc
         self._ok = False
+        self.triggered_by = self.engine._active
         self.engine._schedule(self, delay)
         return self
 
@@ -154,7 +160,7 @@ class Process(Event):
     each other simply by yielding them.
     """
 
-    __slots__ = ("generator", "name", "_waiting_on")
+    __slots__ = ("generator", "name", "_waiting_on", "last_resumed_by")
 
     def __init__(
         self,
@@ -168,6 +174,10 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Optional[Event] = None
+        #: The event whose firing most recently resumed this process;
+        #: with Event.triggered_by this forms the happens-before chain
+        #: the same-instant race detector walks.
+        self.last_resumed_by: Optional[Event] = None
         # Kick-start on the next engine step at the current time.
         init = Event(engine)
         init.add_callback(self._resume)
@@ -206,7 +216,12 @@ class Process(Event):
                 store.cancel(target)  # forget the queued getter
             self._waiting_on = None
         wake = Event(self.engine)
-        wake.add_callback(lambda ev: self._throw(Interrupt(cause)))
+
+        def _deliver(ev: Event) -> None:
+            self.last_resumed_by = ev
+            self._throw(Interrupt(cause))
+
+        wake.add_callback(_deliver)
         wake.succeed()
 
     # -- stepping --------------------------------------------------------
@@ -214,6 +229,7 @@ class Process(Event):
         if not self.is_alive:
             return
         self._waiting_on = None
+        self.last_resumed_by = event
         if event._ok:
             self._step(lambda: self.generator.send(event._value))
         else:
@@ -227,24 +243,30 @@ class Process(Event):
         self._step(lambda: self.generator.throw(exc))
 
     def _step(self, advance: Callable[[], Any]) -> None:
+        engine = self.engine
+        prev_active = engine._active
+        engine._active = self
         try:
-            target = advance()
-        except StopIteration as stop:
-            self.succeed(stop.value)
-            return
-        except BaseException as exc:  # noqa: BLE001 - propagate as failure
-            self.fail(exc)
-            return
-        if not isinstance(target, Event):
-            self.fail(
-                TypeError(
-                    f"process {self.name!r} yielded {target!r}; "
-                    "processes must yield Event instances"
+            try:
+                target = advance()
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:  # noqa: BLE001 - propagate as failure
+                self.fail(exc)
+                return
+            if not isinstance(target, Event):
+                self.fail(
+                    TypeError(
+                        f"process {self.name!r} yielded {target!r}; "
+                        "processes must yield Event instances"
+                    )
                 )
-            )
-            return
-        self._waiting_on = target
-        target.add_callback(self._resume)
+                return
+            self._waiting_on = target
+            target.add_callback(self._resume)
+        finally:
+            engine._active = prev_active
 
 
 class AllOf(Event):
@@ -317,6 +339,9 @@ class Engine:
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = itertools.count()
         self.processes_started = 0
+        #: The process currently being stepped (None between steps /
+        #: in host-driver context).  Maintained by Process._step.
+        self._active: Optional[Process] = None
         #: Optional ``hook(t, event)`` called as each event is processed
         #: (see :mod:`repro.sim.trace`); None keeps the hot loop branch-
         #: predictable and cheap.
@@ -326,6 +351,11 @@ class Engine:
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def active_process(self) -> Optional["Process"]:
+        """The process currently executing, or None in host context."""
+        return self._active
 
     # -- construction helpers -------------------------------------------
     def timeout(self, delay: float, value: Any = None) -> Timeout:

@@ -126,8 +126,8 @@ class Network:
 
     @property
     def total_bytes(self) -> int:
-        return sum(l.bytes_sent for l in self._links.values())
+        return sum(self._links[k].bytes_sent for k in sorted(self._links))
 
     @property
     def total_messages(self) -> int:
-        return sum(l.messages_sent for l in self._links.values())
+        return sum(self._links[k].messages_sent for k in sorted(self._links))

@@ -140,11 +140,11 @@ def run_compile(
     ops = 0
     for i in range(probes):
         yield Timeout(engine, CONFIGURE_THINK_S)
-        resp = yield engine.process(
+        yield engine.process(
             probe_client.lookup(f"/src/dir{i % dirs}")
         )
         ops += 1
-    resp = yield engine.process(probe_client.create_many("/src", 5, batch=5))
+    yield engine.process(probe_client.create_many("/src", 5, batch=5))
     ops += 5
     measure("configure", ops, t0, net0, disk0)
 

@@ -1,0 +1,9 @@
+"""Fixture: accumulates floats in hash order on a stats path."""
+
+
+def total_latency(per_daemon):
+    return sum(per_daemon.values())
+
+
+def weighted(per_daemon):
+    return sum(v * 0.5 for v in per_daemon.values())

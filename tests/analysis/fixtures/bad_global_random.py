@@ -1,0 +1,12 @@
+"""Fixture: draws from process-global RNGs."""
+
+import random
+
+import numpy as np
+
+
+def jitter():
+    a = random.random()
+    b = np.random.uniform(0.0, 1.0)
+    gen = np.random.default_rng()
+    return a, b, gen

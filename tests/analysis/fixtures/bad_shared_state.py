@@ -1,0 +1,10 @@
+"""Fixture: engine-shared mutable state bound at def/class time."""
+
+
+class Dispatcher:
+    pending = []
+
+
+def enqueue(item, queue={}):
+    queue[item] = True
+    return queue

@@ -1,0 +1,9 @@
+"""Fixture: schedules work in set/dict-view iteration order."""
+
+
+def dispatch(engine, waiters, table):
+    for proc in set(waiters):
+        engine.wake(proc)
+    for name in table.keys():
+        engine.notify(name)
+    return [v for v in table.values()]

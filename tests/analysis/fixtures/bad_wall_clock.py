@@ -1,0 +1,10 @@
+"""Fixture: reads the host clock inside simulation code."""
+
+import time
+from datetime import datetime
+
+
+def sample_latency():
+    start = time.time()
+    stamp = datetime.now()
+    return start, stamp

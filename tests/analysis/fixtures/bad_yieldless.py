@@ -1,0 +1,8 @@
+"""Fixture: annotated as a process body but never yields."""
+
+from typing import Generator
+
+
+def worker(engine) -> Generator:
+    engine.advance()
+    return None

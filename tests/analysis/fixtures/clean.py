@@ -1,0 +1,12 @@
+"""Fixture: deterministic simulation code; no findings expected."""
+
+from typing import Generator
+
+
+def drain(engine, table) -> Generator:
+    for name in sorted(table):
+        yield engine.notify(name)
+
+
+def total(sizes):
+    return sum(sizes[k] for k in sorted(sizes))

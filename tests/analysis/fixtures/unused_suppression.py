@@ -1,0 +1,6 @@
+"""Fixture: a suppression guarding nothing (stale waiver)."""
+
+
+def add(a, b):
+    # simlint: ignore[wall-clock] left behind after a refactor
+    return a + b

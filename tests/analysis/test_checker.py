@@ -1,0 +1,300 @@
+"""Composition / policy-set static checker: rejections, acceptances, parsing."""
+
+import pytest
+
+from repro.analysis.checker import (
+    CheckError,
+    CompositionError,
+    PolicySetError,
+    check_inotable,
+    check_plan,
+    check_policy_set,
+    parse_policy_set,
+    policy_set_warnings,
+)
+from repro.core.policy import SYSTEM_POLICIES, TABLE_I, SubtreePolicy
+from repro.mds.inotable import InoRange, InoTable
+
+
+def codes(errors):
+    return sorted(e.code for e in errors)
+
+
+# -- check_plan rejections ---------------------------------------------------
+
+
+def test_nonvolatile_apply_without_journal_rejected():
+    errors = check_plan("nonvolatile_apply")
+    assert codes(errors) == ["missing-dependency"]
+    assert errors[0].where == "stage 1 (nonvolatile_apply)"
+    assert "append_client_journal" in errors[0].message
+
+
+def test_volatile_apply_without_journal_rejected():
+    errors = check_plan("volatile_apply")
+    assert codes(errors) == ["missing-dependency"]
+
+
+def test_duplicate_mechanism_in_stage_rejected():
+    errors = check_plan("append_client_journal+volatile_apply||volatile_apply")
+    assert "duplicate-mechanism" in codes(errors)
+    dup = next(e for e in errors if e.code == "duplicate-mechanism")
+    assert dup.where == "stage 2 (volatile_apply||volatile_apply)"
+
+
+def test_stream_with_client_journal_rejected():
+    errors = check_plan("append_client_journal+volatile_apply+stream")
+    assert "conflicting-mechanisms" in codes(errors)
+    conflict = next(e for e in errors if e.code == "conflicting-mechanisms")
+    assert "stream" in conflict.where
+    assert "append_client_journal" in conflict.where
+
+
+def test_persist_mechanisms_need_a_recorder():
+    assert codes(check_plan("local_persist")) == ["missing-dependency"]
+    assert codes(check_plan("global_persist")) == ["missing-dependency"]
+    assert check_plan("rpcs+local_persist") == []
+    assert check_plan("append_client_journal+global_persist") == []
+
+
+def test_stream_needs_updates_at_the_mds():
+    # stream with neither rpcs nor a volatile_apply upstream is vacuous,
+    # and volatile_apply *after* stream does not help it.
+    assert "missing-dependency" in codes(check_plan("stream"))
+
+
+def test_parse_error_reported_not_raised_by_default():
+    errors = check_plan("rpcs++stream")
+    assert codes(errors) == ["parse-error"]
+    assert errors[0].where == "composition"
+
+
+def test_raise_on_error_carries_error_list():
+    with pytest.raises(CompositionError) as exc:
+        check_plan("nonvolatile_apply", raise_on_error=True)
+    assert codes(exc.value.errors) == ["missing-dependency"]
+    assert "stage 1" in str(exc.value)
+
+
+def test_all_table_i_compositions_pass():
+    for composition in TABLE_I.values():
+        assert check_plan(composition) == [], composition
+
+
+def test_all_system_policies_pass():
+    for name, (consistency, durability) in SYSTEM_POLICIES.items():
+        assert check_plan(TABLE_I[(consistency, durability)]) == [], name
+
+
+def test_runtime_wiring_rejects_bad_policy_at_decouple():
+    from repro.cluster import Cluster
+    from repro.core.namespace_api import Cudele
+
+    cluster = Cluster()
+    cudele = Cudele(cluster)
+
+    def run():
+        with pytest.raises(CompositionError) as exc:
+            yield from cudele.decouple(
+                "/job",
+                SubtreePolicy(consistency="volatile_apply", durability="none"),
+            )
+        assert "missing-dependency" in codes(exc.value.errors)
+        return None
+
+    cluster.run(run())
+
+
+# -- policy-set parsing ------------------------------------------------------
+
+VALID_SET = """\
+version: 1
+
+[/shared]
+consistency: "rpcs"
+durability: "stream"
+interfere: allow
+
+[/job]
+consistency: "append_client_journal+volatile_apply"
+durability: "local_persist"
+allocated_inodes: 100
+inode_base: 1000
+interfere: block
+"""
+
+
+def test_parse_valid_policy_set():
+    ps = parse_policy_set(VALID_SET)
+    assert ps.version == 1
+    assert sorted(ps.subtrees) == ["/job", "/shared"]
+    job = ps.subtrees["/job"]
+    assert job.inode_base == 1000
+    assert job.inode_range == (1000, 1100)
+    assert job.policy.interfere == "block"
+    assert ps.subtrees["/shared"].inode_range is None
+    assert check_policy_set(ps) == []
+
+
+def test_missing_version_rejected():
+    with pytest.raises(PolicySetError) as exc:
+        parse_policy_set("[/a]\nconsistency: \"rpcs\"\n")
+    assert "missing-version" in codes(exc.value.errors)
+
+
+def test_unsupported_version_rejected():
+    with pytest.raises(PolicySetError) as exc:
+        parse_policy_set("version: 99\n[/a]\nconsistency: \"rpcs\"\n")
+    assert "unsupported-version" in codes(exc.value.errors)
+
+
+def test_non_integer_version_rejected():
+    with pytest.raises(PolicySetError) as exc:
+        parse_policy_set("version: soon\n")
+    assert "bad-version" in codes(exc.value.errors)
+
+
+def test_duplicate_subtree_rejected():
+    text = "version: 1\n[/a]\ninterfere: allow\n[/a]\ninterfere: block\n"
+    with pytest.raises(PolicySetError) as exc:
+        parse_policy_set(text)
+    err = next(e for e in exc.value.errors if e.code == "duplicate-subtree")
+    assert err.where == "subtree /a"
+
+
+def test_stray_line_before_any_section_rejected():
+    with pytest.raises(PolicySetError) as exc:
+        parse_policy_set("version: 1\nconsistency: \"rpcs\"\n")
+    assert "stray-line" in codes(exc.value.errors)
+
+
+def test_bad_inode_base_rejected():
+    text = "version: 1\n[/a]\ninode_base: -5\n"
+    with pytest.raises(PolicySetError) as exc:
+        parse_policy_set(text)
+    assert "bad-inode-base" in codes(exc.value.errors)
+
+
+def test_bad_policy_body_rejected_with_subtree_name():
+    text = "version: 1\n[/a]\nconsistency: \"no_such_mechanism\"\n"
+    with pytest.raises(PolicySetError) as exc:
+        parse_policy_set(text)
+    err = next(e for e in exc.value.errors if e.code == "bad-policy")
+    assert err.where == "subtree /a"
+
+
+# -- policy-set cross-subtree checks ----------------------------------------
+
+
+def make_set(*entries):
+    """entries: (path, body) pairs under a version-1 header."""
+    text = "version: 1\n" + "".join(
+        f"[{path}]\n{body}\n" for path, body in entries
+    )
+    return parse_policy_set(text)
+
+
+def test_overlapping_inode_ranges_rejected_naming_both_subtrees():
+    ps = make_set(
+        ("/a", 'allocated_inodes: 100\ninode_base: 1000'),
+        ("/b", 'allocated_inodes: 100\ninode_base: 1050'),
+    )
+    errors = check_policy_set(ps)
+    assert codes(errors) == ["inode-overlap"]
+    assert errors[0].where == "subtree /a vs /b"
+    assert "[1050, 1100)" in errors[0].message
+    with pytest.raises(PolicySetError):
+        check_policy_set(ps, raise_on_error=True)
+
+
+def test_adjacent_inode_ranges_are_fine():
+    ps = make_set(
+        ("/a", 'allocated_inodes: 100\ninode_base: 1000'),
+        ("/b", 'allocated_inodes: 100\ninode_base: 1100'),
+    )
+    assert check_policy_set(ps) == []
+
+
+def test_interfere_conflict_under_blocking_ancestor():
+    ps = make_set(
+        ("/a", "interfere: block"),
+        ("/a/b", "interfere: allow"),
+    )
+    errors = check_policy_set(ps)
+    assert "interfere-conflict" in codes(errors)
+    err = next(e for e in errors if e.code == "interfere-conflict")
+    assert err.where == "subtree /a/b under /a"
+
+
+def test_sibling_subtrees_do_not_interfere_conflict():
+    ps = make_set(
+        ("/a", "interfere: block"),
+        ("/ab", "interfere: allow"),  # /ab is NOT nested under /a
+    )
+    assert check_policy_set(ps) == []
+
+
+def test_embedding_violation_weaker_child_consistency():
+    ps = make_set(
+        ("/a", 'consistency: "rpcs"\ndurability: "stream"'),
+        (
+            "/a/b",
+            'consistency: "append_client_journal+volatile_apply"\n'
+            'durability: "local_persist"',
+        ),
+    )
+    errors = check_policy_set(ps)
+    assert "embedding-violation" in codes(errors)
+
+
+def test_stronger_child_consistency_is_allowed():
+    ps = make_set(
+        (
+            "/a",
+            'consistency: "append_client_journal+volatile_apply"\n'
+            'durability: "local_persist"',
+        ),
+        ("/a/b", 'consistency: "rpcs"\ndurability: "stream"'),
+    )
+    assert check_policy_set(ps) == []
+
+
+def test_per_subtree_plan_errors_name_subtree_and_stage():
+    ps = make_set(("/a", 'consistency: "volatile_apply"\ndurability: "none"'))
+    errors = check_policy_set(ps)
+    assert codes(errors) == ["missing-dependency"]
+    assert errors[0].where.startswith("subtree /a, stage ")
+
+
+def test_policy_set_warnings_are_prefixed_per_subtree():
+    ps = make_set(
+        ("/a", 'consistency: "rpcs"\ndurability: "global_persist"'),
+    )
+    warnings = policy_set_warnings(ps)
+    assert all(w.startswith("subtree /a: ") for w in warnings)
+
+
+# -- inotable runtime check --------------------------------------------------
+
+
+def test_check_inotable_clean_by_construction():
+    table = InoTable()
+    table.provision(1, 100)
+    table.provision(2, 100)
+    assert check_inotable(table) == []
+
+
+def test_check_inotable_flags_hand_injected_overlap():
+    table = InoTable()
+    first = table.provision(1, 100)
+    table._ranges[2] = [InoRange(start=first.start + 50, count=100)]
+    errors = check_inotable(table)
+    assert codes(errors) == ["inode-overlap"]
+    assert errors[0].where == "client 1 vs client 2"
+    with pytest.raises(PolicySetError):
+        check_inotable(table, raise_on_error=True)
+
+
+def test_check_error_render_format():
+    err = CheckError("some-code", "stage 1 (rpcs)", "message")
+    assert err.render() == "stage 1 (rpcs): some-code: message"

@@ -1,0 +1,45 @@
+"""Determinism regression: same seed, same bytes.
+
+The whole point of the simlint rules is that a seeded run is exactly
+reproducible.  These tests pin that property end to end: the same bench
+experiment at the same scale must serialize byte-identically twice, and
+a fault-injection scenario must produce the identical fault log.
+"""
+
+from repro.bench.experiments import faults
+from repro.bench.report import dump_json, format_result
+from repro.bench.scales import TINY
+from repro.cluster import Cluster
+from repro.faults import FaultInjector, FaultPlan
+
+
+def test_faults_experiment_is_byte_identical_across_runs(tmp_path):
+    (tmp_path / "a").mkdir()
+    (tmp_path / "b").mkdir()
+    first = dump_json(faults(TINY), tmp_path / "a" / "faults.json")
+    second = dump_json(faults(TINY), tmp_path / "b" / "faults.json")
+    assert first.read_bytes() == second.read_bytes()
+
+
+def test_rendered_stats_identical_across_runs():
+    assert format_result(faults(TINY)) == format_result(faults(TINY))
+
+
+def _fault_scenario():
+    cluster = Cluster()
+    d = cluster.new_decoupled_client(persist_each=True)
+    cluster.run(d.create_many("/burst", [f"f{i}" for i in range(32)]))
+    t_crash = cluster.now + 0.01
+    plan = (
+        FaultPlan()
+        .crash(t_crash, d.name)
+        .recover(t_crash + 0.05, d.name, mode="local")
+    )
+    injector = FaultInjector(cluster, plan)
+    injector.start()
+    cluster.run()
+    return injector.report()
+
+
+def test_fault_log_identical_across_runs():
+    assert _fault_scenario() == _fault_scenario()

@@ -1,0 +1,263 @@
+"""Same-instant race detector: conflicts, happens-before, instrumentation."""
+
+import pytest
+
+from repro.analysis.races import RaceDetector, RaceError, watch_cluster
+from repro.cluster import Cluster
+from repro.sim.engine import Engine, Timeout
+
+
+def drive(engine):
+    engine.run()
+
+
+# -- core conflict semantics ------------------------------------------------
+
+
+def test_same_instant_write_write_conflict_flagged():
+    eng = Engine()
+    det = RaceDetector(eng)
+
+    def writer(tag):
+        yield Timeout(eng, 1.0)
+        det.record("write", "mdstore", "/dir/f")
+        return tag
+
+    eng.process(writer("a"), name="writer-a")
+    eng.process(writer("b"), name="writer-b")
+    eng.run()
+    det.flush()
+    assert len(det.races) == 1
+    race = det.races[0]
+    assert race.t == 1.0
+    assert race.resource == "mdstore"
+    assert race.key == "/dir/f"
+    assert {race.first.process_name, race.second.process_name} == {
+        "writer-a", "writer-b",
+    }
+    with pytest.raises(RaceError) as exc:
+        det.check()
+    assert "no happens-before edge" in str(exc.value)
+
+
+def test_read_write_conflict_flagged_but_read_read_is_not():
+    eng = Engine()
+    det = RaceDetector(eng)
+
+    def reader():
+        yield Timeout(eng, 1.0)
+        det.record("read", "inotable", 42)
+
+    def writer():
+        yield Timeout(eng, 1.0)
+        det.record("write", "inotable", 42)
+
+    eng.process(reader(), name="r1")
+    eng.process(reader(), name="r2")
+    eng.process(writer(), name="w")
+    eng.run()
+    det.flush()
+    # r1/w and r2/w conflict; r1/r2 does not.
+    assert len(det.races) == 2
+    assert all("w" in (r.first.process_name, r.second.process_name)
+               for r in det.races)
+
+
+def test_distinct_keys_and_distinct_times_do_not_conflict():
+    eng = Engine()
+    det = RaceDetector(eng)
+
+    def writer(delay, key):
+        yield Timeout(eng, delay)
+        det.record("write", "mdstore", key)
+
+    eng.process(writer(1.0, "/a"), name="wa")
+    eng.process(writer(1.0, "/b"), name="wb")     # same t, different key
+    eng.process(writer(2.0, "/a"), name="wa2")    # same key, different t
+    eng.run()
+    det.check()  # no race
+    assert det.accesses_recorded == 3
+
+
+def test_same_process_accesses_are_ordered():
+    eng = Engine()
+    det = RaceDetector(eng)
+
+    def writer():
+        yield Timeout(eng, 1.0)
+        det.record("write", "mdstore", "/f")
+        det.record("write", "mdstore", "/f")
+
+    eng.process(writer(), name="w")
+    eng.run()
+    det.check()
+
+
+# -- happens-before edges ---------------------------------------------------
+
+
+def test_event_wakeup_creates_happens_before_edge():
+    eng = Engine()
+    det = RaceDetector(eng)
+    gate = eng.event()
+
+    def producer():
+        yield Timeout(eng, 1.0)
+        det.record("write", "store", "k")
+        gate.succeed()
+
+    def consumer():
+        yield gate
+        det.record("write", "store", "k")
+
+    eng.process(producer(), name="producer")
+    eng.process(consumer(), name="consumer")
+    eng.run()
+    det.check()  # producer -> gate -> consumer is ordered; no race
+
+
+def test_happens_before_is_transitive_through_chained_events():
+    eng = Engine()
+    det = RaceDetector(eng)
+    first, second = eng.event(), eng.event()
+
+    def head():
+        yield Timeout(eng, 1.0)
+        det.record("write", "store", "k")
+        first.succeed()
+
+    def middle():
+        yield first
+        second.succeed()
+
+    def tail():
+        yield second
+        det.record("write", "store", "k")
+
+    eng.process(head(), name="head")
+    eng.process(middle(), name="middle")
+    eng.process(tail(), name="tail")
+    eng.run()
+    det.check()  # head -> middle -> tail chain orders the two writes
+
+
+def test_spawned_process_is_ordered_after_spawner():
+    eng = Engine()
+    det = RaceDetector(eng)
+
+    def child():
+        det.record("write", "store", "k")
+        return None
+        yield  # pragma: no cover - generator marker
+
+    def parent():
+        yield Timeout(eng, 1.0)
+        det.record("write", "store", "k")
+        yield eng.process(child(), name="child")
+
+    eng.process(parent(), name="parent")
+    eng.run()
+    det.check()
+
+
+def test_unrelated_timeout_wakeups_still_race():
+    # Both processes wake from their own timeouts at the same instant:
+    # dispatch order between them is pure seq tie-breaking.
+    eng = Engine()
+    det = RaceDetector(eng)
+
+    def toucher(kind):
+        yield Timeout(eng, 0.5)
+        yield Timeout(eng, 0.5)
+        det.record(kind, "journal", None)
+
+    eng.process(toucher("write"), name="t1")
+    eng.process(toucher("read"), name="t2")
+    eng.run()
+    det.flush()
+    assert len(det.races) == 1
+
+
+# -- method instrumentation -------------------------------------------------
+
+
+def test_watch_wraps_and_detach_restores():
+    from repro.mds.mdstore import MetadataStore
+
+    eng = Engine()
+    det = RaceDetector(eng)
+    md = MetadataStore()
+    det.watch(md, "mdstore", reads=("exists",), writes=("mkdir",))
+
+    def builder(path):
+        yield Timeout(eng, 1.0)
+        md.mkdir(path)
+
+    eng.process(builder("/a"), name="b1")
+    eng.process(builder("/b"), name="b2")
+    eng.run()
+    det.flush()
+    assert det.accesses_recorded == 2  # distinct keys: recorded, no race
+    assert det.races == []
+    det.detach()
+    md.mkdir("/c")  # host context after detach: not recorded
+    assert det.accesses_recorded == 2
+    assert md.exists("/c")
+
+
+def test_watch_flags_same_path_same_instant_writes():
+    from repro.mds.mdstore import MetadataStore, FsError
+
+    eng = Engine()
+    det = RaceDetector(eng)
+    md = MetadataStore()
+    det.watch(md, "mdstore", writes=("mkdir",))
+
+    def builder():
+        yield Timeout(eng, 1.0)
+        try:
+            md.mkdir("/same")
+        except FsError:
+            pass  # the loser's EEXIST is exactly the schedule dependence
+
+    eng.process(builder(), name="b1")
+    eng.process(builder(), name="b2")
+    eng.run()
+    det.flush()
+    assert len(det.races) == 1
+    assert det.races[0].key == "/same"
+
+
+def test_host_context_accesses_ignored():
+    eng = Engine()
+    det = RaceDetector(eng)
+    det.record("write", "store", "k")  # no active process
+    det.flush()
+    assert det.accesses_recorded == 0
+    assert det.races == []
+
+
+def test_watch_cluster_covers_standard_resources_and_stays_quiet():
+    cluster = Cluster()
+    det = RaceDetector(cluster.engine)
+    d = cluster.new_decoupled_client()
+    watch_cluster(det, cluster)
+    cluster.run(d.create_many("/burst", [f"f{i}" for i in range(8)]))
+    det.check()  # a single sequential client cannot race with itself
+    assert det.accesses_recorded > 0
+    det.detach()
+
+
+def test_report_renders_races():
+    eng = Engine()
+    det = RaceDetector(eng)
+
+    def writer():
+        yield Timeout(eng, 1.0)
+        det.record("write", "store", "k")
+
+    eng.process(writer(), name="w1")
+    eng.process(writer(), name="w2")
+    eng.run()
+    text = det.report()
+    assert "race at t=" in text and "store" in text

@@ -1,0 +1,25 @@
+"""Run ruff against the repo when it is installed.
+
+The container running tier-1 may not ship ruff; CI does.  The pinned
+rule set lives in ``pyproject.toml`` so both see the same gate.
+"""
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+RUFF = shutil.which("ruff")
+
+
+@pytest.mark.skipif(RUFF is None, reason="ruff not installed in this environment")
+def test_ruff_check_is_clean():
+    proc = subprocess.run(
+        [RUFF, "check", "."],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.bench.harness import ExperimentResult, Series
 from repro.bench.report import dump_json, load_json

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import calibration as cal
 from repro.client.client import Client
 from repro.client.fs import PosixFileSystem
 from repro.mds.server import MDSConfig, MetadataServer

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import calibration as cal
 from repro.client.decoupled import DecoupledClient
 from repro.journal.events import EventType
 from repro.mds.inotable import InoRange

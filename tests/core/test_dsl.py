@@ -94,6 +94,53 @@ def test_mechanisms_deduplicated_in_order():
     assert plan.mechanisms == ["rpcs", "stream"]
 
 
+def test_error_messages_name_the_problem():
+    with pytest.raises(DslError, match="empty composition"):
+        parse_composition("")
+    with pytest.raises(DslError, match="empty mechanism in composition"):
+        parse_composition("rpcs++stream")
+    with pytest.raises(DslError, match="invalid mechanism name '123bad'"):
+        parse_composition("123bad")
+    with pytest.raises(DslError, match="unknown mechanism 'teleport'"):
+        parse_composition("rpcs+teleport")
+
+
+def test_unknown_mechanism_error_lists_known_set():
+    with pytest.raises(DslError) as exc:
+        parse_composition("teleport")
+    for name in sorted(KNOWN):
+        assert name in str(exc.value)
+
+
+def test_custom_known_set_overrides_registry():
+    plan = parse_composition("alpha+beta||gamma", known={"alpha", "beta", "gamma"})
+    assert plan.stages == (("alpha",), ("beta", "gamma"))
+    # The registered names are unknown under a custom set.
+    with pytest.raises(DslError, match="unknown mechanism 'rpcs'"):
+        parse_composition("rpcs", known={"alpha"})
+
+
+def test_spaces_inside_names_become_underscores():
+    plan = parse_composition("append client journal+volatile apply")
+    assert plan.stages == (("append_client_journal",), ("volatile_apply",))
+
+
+def test_leading_and_trailing_operators_rejected():
+    for text in ("+rpcs", "rpcs+", "||rpcs", "rpcs||", "+", "||"):
+        with pytest.raises(DslError):
+            parse_composition(text)
+
+
+def test_punctuation_and_unicode_names_rejected():
+    for text in ("rpcs-stream", "rpc.s", "rpçs", "rpcs;stream"):
+        with pytest.raises(DslError):
+            parse_composition(text)
+
+
+def test_dsl_error_is_a_value_error():
+    assert issubclass(DslError, ValueError)
+
+
 @settings(max_examples=40, deadline=None)
 @given(
     stages=st.lists(

@@ -6,7 +6,7 @@ from repro.cluster import Cluster
 from repro.core.namespace_api import Cudele
 from repro.core.policy import SubtreePolicy
 from repro.core.semantics import Consistency, Durability
-from repro.mds.server import MDSConfig, Request
+from repro.mds.server import Request
 
 
 @pytest.fixture
@@ -82,7 +82,7 @@ def test_owner_client_set_on_decoupled_policy(cluster, cudele):
 
 
 def test_interfere_block_enforced_via_monitor(cluster, cudele):
-    ns = cluster.run(
+    cluster.run(
         cudele.decouple(
             "/locked",
             SubtreePolicy(

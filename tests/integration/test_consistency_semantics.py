@@ -5,7 +5,6 @@ problem); 'weak' — updates merge at some future time; 'strong' —
 updates are seen immediately by all clients.
 """
 
-import pytest
 
 from repro.cluster import Cluster
 from repro.core.namespace_api import Cudele

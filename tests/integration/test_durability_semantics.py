@@ -6,7 +6,6 @@ updates survive if the client node recovers and reads local storage;
 clients, MDSs and OSDs at the worst moments and check exactly that.
 """
 
-import pytest
 
 from repro.cluster import Cluster
 from repro.core.mechanisms import MechanismContext, run_mechanism
@@ -14,7 +13,6 @@ from repro.core.namespace_api import Cudele
 from repro.core.policy import SubtreePolicy
 from repro.journal.journaler import LocalJournal
 from repro.mds.mdstore import MetadataStore
-from repro.mds.server import Request
 
 
 def make_ns(cluster, consistency, durability, inodes=1000):

@@ -1,8 +1,6 @@
 """Every example script must run cleanly end to end."""
 
 import runpy
-import subprocess
-import sys
 from pathlib import Path
 
 import pytest

@@ -9,7 +9,6 @@ these tests pin that invariant.
 import pytest
 
 from repro.cluster import Cluster
-from repro.core.mechanisms import MechanismContext, run_mechanism
 from repro.mds.server import MDSConfig
 from repro.workloads.createheavy import parallel_creates_rpc
 

@@ -8,7 +8,6 @@ checkpoints, and an OSD failure mid-run.  The run must terminate, stay
 deterministic and end in a consistent namespace.
 """
 
-import pytest
 
 from repro.cluster import Cluster
 from repro.core.namespace_api import Cudele

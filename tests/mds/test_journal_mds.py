@@ -74,7 +74,6 @@ def test_real_events_dispatch_on_segment_fill(engine, objstore):
 
 def test_counted_events_dispatch_and_charge(engine, objstore):
     j = make_journal(engine, objstore, segment_events=100)
-    t0 = engine.now
     drive(engine, j.log_events(count=250))
     engine.run()
     assert j.segments_dispatched == 2

@@ -62,7 +62,7 @@ class MetadataStoreMachine(RuleBasedStateMachine):
         md_err = oracle_err = None
         try:
             fn_md(path)
-        except FsError as e:
+        except FsError:
             md_err = True
         try:
             fn_oracle(path)

@@ -167,7 +167,7 @@ def test_recovery_uses_checkpointed_fragments_and_journal_tail():
 
 def test_crash_is_idempotent():
     cluster = Cluster(seed=0)
-    first = cluster.mds.crash()
+    cluster.mds.crash()
     second = cluster.mds.crash()
     assert second == {"journal_events_lost": 0, "requests_failed": 0}
     assert cluster.mds.stats.counter("crashes").value == 1

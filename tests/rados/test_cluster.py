@@ -2,8 +2,6 @@
 
 import pytest
 
-from repro.sim.engine import Engine
-from repro.sim.network import Network
 from repro.rados.cluster import ObjectStore, PlacementError, Pool
 
 from tests.rados.conftest import drive

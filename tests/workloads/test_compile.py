@@ -4,7 +4,7 @@ import pytest
 
 from repro.cluster import Cluster
 from repro.mds.server import MDSConfig
-from repro.workloads.compile_wl import CompileResult, run_compile
+from repro.workloads.compile_wl import run_compile
 
 
 def run(scale=800):
