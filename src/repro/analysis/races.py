@@ -125,6 +125,12 @@ class RaceDetector:
 
     def __init__(self, engine: Engine, max_races: int = 1000):
         self.engine = engine
+        # The ancestry walk dereferences ``last_resumed_by`` events from
+        # earlier dispatches; recycled pooled timeouts (Engine.sleep)
+        # would alias those references, so pooling is disabled for any
+        # engine under race detection.
+        engine.pool_limit = 0
+        engine._timeout_pool.clear()
         self.max_races = max_races
         self.races: List[Race] = []
         self.accesses_recorded = 0

@@ -7,14 +7,25 @@
   ``fig2``, ``fig3a``, ``fig3b``, ``fig3c``, ``fig5``, ``fig6a``,
   ``fig6b``, ``fig6c``, ``table1``.
 * :mod:`~repro.bench.report` — ASCII rendering of results.
+* :mod:`~repro.bench.micro` — simulator host-throughput probes and the
+  ``BENCH_micro.json`` regression gate (see docs/PERFORMANCE.md).
 
 Run from the command line::
 
     python -m repro.bench fig5
+    python -m repro.bench --jobs 4            # parallel seeded runs
     REPRO_SCALE=paper python -m repro.bench fig6a
+    python -m repro.bench micro --json out/
 """
 
-from repro.bench.harness import ExperimentResult, Series, aggregate
+from repro.bench.harness import (
+    ExperimentResult,
+    Series,
+    aggregate,
+    parallel_map,
+    run_seeds,
+    set_default_jobs,
+)
 from repro.bench.scales import PAPER, SMALL, TINY, Scale, get_scale
 from repro.bench import experiments
 from repro.bench.compare import ComparisonReport, compare_files, compare_results
@@ -24,6 +35,9 @@ __all__ = [
     "ExperimentResult",
     "Series",
     "aggregate",
+    "parallel_map",
+    "run_seeds",
+    "set_default_jobs",
     "Scale",
     "TINY",
     "SMALL",

@@ -5,13 +5,21 @@ relevant workload, and returns an :class:`~repro.bench.harness.
 ExperimentResult` whose series carry the same labels the paper's figure
 uses.  Normalizations follow the paper exactly; see EXPERIMENTS.md for
 the paper-vs-measured record.
+
+Seeded runs never share state, so each runner flattens its
+``configs x seeds`` sweep into a list of self-contained tasks and fans
+them out through :func:`~repro.bench.harness.parallel_map` (serial by
+default; ``--jobs N`` / ``REPRO_JOBS`` runs them in a process pool).
+The task functions are module-level so they pickle, and results are
+merged in task order — a parallel run is byte-identical to a serial
+one (see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.bench.harness import ExperimentResult, Series, aggregate
+from repro.bench.harness import ExperimentResult, Series, aggregate, parallel_map
 from repro.bench.scales import Scale, get_scale
 from repro.cluster import Cluster
 from repro.core.mechanisms import MechanismContext, run_mechanism
@@ -53,6 +61,23 @@ def _cluster(
 # Figure 2: compile-phase resource utilization
 # ---------------------------------------------------------------------------
 
+_PHASE_NAMES = ["untar", "configure", "make"]
+
+
+def _fig2_seed(task: Tuple[int, Scale]) -> Tuple[List[float], List[float], List[float]]:
+    seed, scale = task
+    cluster = _cluster(seed)
+    res = cluster.run(
+        run_compile(cluster, scale=scale.compile_files, batch=scale.batch)
+    )
+    cpu = [res.phase(p).mds_cpu_util for p in _PHASE_NAMES]
+    net = [
+        res.phase(p).net_bytes / max(res.phase(p).duration_s, 1e-9) / 1e6
+        for p in _PHASE_NAMES
+    ]
+    disk = [res.phase(p).disk_util for p in _PHASE_NAMES]
+    return cpu, net, disk
+
 
 def fig2(scale: Optional[Scale] = None) -> ExperimentResult:
     """MDS CPU/network/disk utilization per compile phase.
@@ -61,31 +86,19 @@ def fig2(scale: Optional[Scale] = None) -> ExperimentResult:
     combined resource usage on the metadata server.
     """
     scale = scale or get_scale()
-    cpu_rows, net_rows, disk_rows = [], [], []
-    phase_names = ["untar", "configure", "make"]
-    for seed in range(scale.seeds):
-        cluster = _cluster(seed)
-        res = cluster.run(
-            run_compile(cluster, scale=scale.compile_files, batch=scale.batch)
-        )
-        cpu_rows.append([res.phase(p).mds_cpu_util for p in phase_names])
-        net_rows.append(
-            [res.phase(p).net_bytes / max(res.phase(p).duration_s, 1e-9) / 1e6
-             for p in phase_names]
-        )
-        disk_rows.append([res.phase(p).disk_util for p in phase_names])
-    cpu_m, cpu_s = aggregate(cpu_rows)
-    net_m, net_s = aggregate(net_rows)
-    disk_m, disk_s = aggregate(disk_rows)
+    rows = parallel_map(_fig2_seed, [(s, scale) for s in range(scale.seeds)])
+    cpu_m, cpu_s = aggregate([r[0] for r in rows])
+    net_m, net_s = aggregate([r[1] for r in rows])
+    disk_m, disk_s = aggregate([r[2] for r in rows])
     return ExperimentResult(
         exp_id="fig2",
         title="MDS resource utilization during a compile (untar/configure/make)",
         x_label="phase",
         y_label="utilization (fraction) / network (MB/s)",
         series=[
-            Series("mds cpu", phase_names, cpu_m, cpu_s),
-            Series("network MB/s", phase_names, net_m, net_s),
-            Series("objstore disk", phase_names, disk_m, disk_s),
+            Series("mds cpu", _PHASE_NAMES, cpu_m, cpu_s),
+            Series("network MB/s", _PHASE_NAMES, net_m, net_s),
+            Series("objstore disk", _PHASE_NAMES, disk_m, disk_s),
         ],
         notes=[
             "paper: the untar (create-heavy) phase dominates MDS "
@@ -98,6 +111,27 @@ def fig2(scale: Optional[Scale] = None) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 # Figure 3a: journal dispatch-size slowdown vs clients
 # ---------------------------------------------------------------------------
+
+
+def _fig3a_seed(task: Tuple[int, bool, int, Scale]) -> List[float]:
+    """One config at one seed: slowdown over the sweep of client counts."""
+    seed, journal, dispatch, scale = task
+    base_cluster = _cluster(seed, journal=False)
+    base = base_cluster.run(
+        parallel_creates_rpc(
+            base_cluster, 1, scale.ops_per_client, batch=scale.batch
+        )
+    ).slowest_client_time
+    row = []
+    for n in scale.clients:
+        cluster = _cluster(seed, journal=journal, dispatch=dispatch)
+        res = cluster.run(
+            parallel_creates_rpc(
+                cluster, n, scale.ops_per_client, batch=scale.batch
+            )
+        )
+        row.append(res.slowest_client_time / base)
+    return row
 
 
 def fig3a(scale: Optional[Scale] = None) -> ExperimentResult:
@@ -113,26 +147,15 @@ def fig3a(scale: Optional[Scale] = None) -> ExperimentResult:
         ("segments=30", True, 30),
         ("segments=40", True, 40),
     ]
+    tasks = [
+        (seed, journal, dispatch, scale)
+        for _label, journal, dispatch in configs
+        for seed in range(scale.seeds)
+    ]
+    rows = parallel_map(_fig3a_seed, tasks)
     series = []
-    for label, journal, dispatch in configs:
-        per_seed = []
-        for seed in range(scale.seeds):
-            base_cluster = _cluster(seed, journal=False)
-            base = base_cluster.run(
-                parallel_creates_rpc(
-                    base_cluster, 1, scale.ops_per_client, batch=scale.batch
-                )
-            ).slowest_client_time
-            row = []
-            for n in scale.clients:
-                cluster = _cluster(seed, journal=journal, dispatch=dispatch)
-                res = cluster.run(
-                    parallel_creates_rpc(
-                        cluster, n, scale.ops_per_client, batch=scale.batch
-                    )
-                )
-                row.append(res.slowest_client_time / base)
-            per_seed.append(row)
+    for idx, (label, _journal, _dispatch) in enumerate(configs):
+        per_seed = rows[idx * scale.seeds:(idx + 1) * scale.seeds]
         mean, std = aggregate(per_seed)
         series.append(Series(label, list(scale.clients), mean, std))
     return ExperimentResult(
@@ -154,32 +177,39 @@ def fig3a(scale: Optional[Scale] = None) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
+def _interference_seed(task: Tuple[str, int, Scale]) -> List[float]:
+    """One interference mode at one seed: slowdown over the client sweep."""
+    mode, seed, scale = task
+    base_cluster = _cluster(seed)
+    base = base_cluster.run(
+        run_interference(
+            base_cluster, 1, scale.ops_per_client, mode="none",
+            batch=scale.batch,
+        )
+    ).slowest_client_time
+    row = []
+    for n in scale.clients:
+        cluster = _cluster(seed + 1000 * n)
+        res = cluster.run(
+            run_interference(
+                cluster, n, scale.ops_per_client, mode=mode,
+                interfere_ops=scale.interfere_ops, batch=scale.batch,
+            )
+        )
+        row.append(res.slowest_client_time / base)
+    return row
+
+
 def _interference_sweep(
     scale: Scale, modes: List[str]
 ) -> Dict[str, tuple]:
+    tasks = [
+        (mode, seed, scale) for mode in modes for seed in range(scale.seeds)
+    ]
+    rows = parallel_map(_interference_seed, tasks)
     out: Dict[str, tuple] = {}
-    for mode in modes:
-        per_seed = []
-        for seed in range(scale.seeds):
-            base_cluster = _cluster(seed)
-            base = base_cluster.run(
-                run_interference(
-                    base_cluster, 1, scale.ops_per_client, mode="none",
-                    batch=scale.batch,
-                )
-            ).slowest_client_time
-            row = []
-            for n in scale.clients:
-                cluster = _cluster(seed + 1000 * n)
-                res = cluster.run(
-                    run_interference(
-                        cluster, n, scale.ops_per_client, mode=mode,
-                        interfere_ops=scale.interfere_ops, batch=scale.batch,
-                    )
-                )
-                row.append(res.slowest_client_time / base)
-            per_seed.append(row)
-        out[mode] = aggregate(per_seed)
+    for idx, mode in enumerate(modes):
+        out[mode] = aggregate(rows[idx * scale.seeds:(idx + 1) * scale.seeds])
     return out
 
 
@@ -214,6 +244,32 @@ def fig3b(scale: Optional[Scale] = None) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
+def _fig3c_diff_rate(samples, sample_interval: float) -> List[float]:
+    values = [v for _, v in samples]
+    return [0.0] + [
+        (values[i] - values[i - 1]) / sample_interval
+        for i in range(1, len(values))
+    ]
+
+
+def _fig3c_run(task: Tuple[str, int, int, int, float]):
+    mode, ops, batch, interfere_ops, sample = task
+    cluster = _cluster(0)
+    res = cluster.run(
+        run_interference(
+            cluster, 1, ops, mode=mode,
+            interfere_ops=interfere_ops,
+            batch=batch, sample_interval_s=sample,
+        )
+    )
+    times = [t for t, _ in res.create_samples]
+    return (
+        times,
+        _fig3c_diff_rate(res.create_samples, sample),
+        _fig3c_diff_rate(res.lookup_samples, sample),
+    )
+
+
 def fig3c(scale: Optional[Scale] = None) -> ExperimentResult:
     """Client behaviour around the interference point: creates/s on y1,
     remote lookups/s on y2 (cumulative lookups differenced)."""
@@ -222,27 +278,13 @@ def fig3c(scale: Optional[Scale] = None) -> ExperimentResult:
     batch = min(scale.batch, 50)
     expected = ops / 520.0
     sample = expected / 25.0
+    interfere_ops = max(scale.interfere_ops, ops // 10)
 
-    def diff_rate(samples):
-        values = [v for _, v in samples]
-        return [0.0] + [
-            (values[i] - values[i - 1]) / sample for i in range(1, len(values))
-        ]
-
-    def run(mode: str):
-        cluster = _cluster(0)
-        res = cluster.run(
-            run_interference(
-                cluster, 1, ops, mode=mode,
-                interfere_ops=max(scale.interfere_ops, ops // 10),
-                batch=batch, sample_interval_s=sample,
-            )
-        )
-        times = [t for t, _ in res.create_samples]
-        return times, diff_rate(res.create_samples), diff_rate(res.lookup_samples)
-
-    t_i, ops_i, lk_i = run("allow")
-    t_n, ops_n, lk_n = run("none")
+    runs = parallel_map(
+        _fig3c_run,
+        [(mode, ops, batch, interfere_ops, sample) for mode in ("allow", "none")],
+    )
+    (t_i, ops_i, lk_i), (t_n, ops_n, lk_n) = runs
     m = min(len(t_i), len(t_n))
     return ExperimentResult(
         exp_id="fig3c",
@@ -268,76 +310,80 @@ def fig3c(scale: Optional[Scale] = None) -> ExperimentResult:
 # Figure 5: per-mechanism overhead of 100K creates
 # ---------------------------------------------------------------------------
 
+_FIG5_LABELS = [
+    "append_client_journal", "rpcs", "volatile_apply",
+    "nonvolatile_apply", "stream", "local_persist", "global_persist",
+    "POSIX", "BatchFS", "DeltaFS", "RAMDisk",
+]
+
+
+def _fig5_seed(task: Tuple[int, Scale]) -> List[float]:
+    seed, scale = task
+    ops = scale.fig5_ops
+    times: Dict[str, float] = {}
+
+    # Append Client Journal (the baseline).
+    cluster = _cluster(seed)
+    d = cluster.new_decoupled_client()
+    t0 = cluster.now
+    cluster.run(d.create_many("/sub", ops))
+    times["append_client_journal"] = cluster.now - t0
+
+    # RPCs in isolation (journal off).
+    cluster = _cluster(seed, journal=False)
+    c = cluster.new_client()
+    t0 = cluster.now
+    cluster.run(c.create_many("/sub", ops, batch=scale.batch))
+    times["rpcs"] = cluster.now - t0
+
+    # Stream: the paper's approximation, journal-on minus journal-off.
+    cluster = _cluster(seed, journal=True)
+    c = cluster.new_client()
+    t0 = cluster.now
+    cluster.run(c.create_many("/sub", ops, batch=scale.batch))
+    times["stream"] = (cluster.now - t0) - times["rpcs"]
+
+    # Completion mechanisms run over a prepared client journal.
+    for mech in ("volatile_apply", "nonvolatile_apply",
+                 "local_persist", "global_persist"):
+        cluster = _cluster(seed)
+        d = cluster.new_decoupled_client()
+        cluster.run(d.create_many("/sub", ops))
+        ctx = MechanismContext(cluster, "/sub", d)
+        t0 = cluster.now
+        cluster.run(run_mechanism(mech, ctx))
+        times[mech] = cluster.now - t0
+
+    # Real-world compositions (Figure 5, right panel).
+    times["POSIX"] = times["rpcs"] + times["stream"]
+    times["BatchFS"] = (
+        times["append_client_journal"] + times["local_persist"]
+        + times["volatile_apply"]
+    )
+    times["DeltaFS"] = times["append_client_journal"] + times["local_persist"]
+    times["RAMDisk"] = times["append_client_journal"] + times["volatile_apply"]
+
+    base = times["append_client_journal"]
+    return [times[label] / base for label in _FIG5_LABELS]
+
 
 def fig5(scale: Optional[Scale] = None) -> ExperimentResult:
     """Overhead of each mechanism (and real-system compositions),
     normalized to Append Client Journal."""
     scale = scale or get_scale()
-    ops = scale.fig5_ops
-    labels = [
-        "append_client_journal", "rpcs", "volatile_apply",
-        "nonvolatile_apply", "stream", "local_persist", "global_persist",
-        "POSIX", "BatchFS", "DeltaFS", "RAMDisk",
-    ]
-    per_seed: List[List[float]] = []
-    for seed in range(scale.seeds):
-        times: Dict[str, float] = {}
-
-        # Append Client Journal (the baseline).
-        cluster = _cluster(seed)
-        d = cluster.new_decoupled_client()
-        t0 = cluster.now
-        cluster.run(d.create_many("/sub", ops))
-        times["append_client_journal"] = cluster.now - t0
-
-        # RPCs in isolation (journal off).
-        cluster = _cluster(seed, journal=False)
-        c = cluster.new_client()
-        t0 = cluster.now
-        cluster.run(c.create_many("/sub", ops, batch=scale.batch))
-        times["rpcs"] = cluster.now - t0
-
-        # Stream: the paper's approximation, journal-on minus journal-off.
-        cluster = _cluster(seed, journal=True)
-        c = cluster.new_client()
-        t0 = cluster.now
-        cluster.run(c.create_many("/sub", ops, batch=scale.batch))
-        times["stream"] = (cluster.now - t0) - times["rpcs"]
-
-        # Completion mechanisms run over a prepared client journal.
-        for mech in ("volatile_apply", "nonvolatile_apply",
-                     "local_persist", "global_persist"):
-            cluster = _cluster(seed)
-            d = cluster.new_decoupled_client()
-            cluster.run(d.create_many("/sub", ops))
-            ctx = MechanismContext(cluster, "/sub", d)
-            t0 = cluster.now
-            cluster.run(run_mechanism(mech, ctx))
-            times[mech] = cluster.now - t0
-
-        # Real-world compositions (Figure 5, right panel).
-        times["POSIX"] = times["rpcs"] + times["stream"]
-        times["BatchFS"] = (
-            times["append_client_journal"] + times["local_persist"]
-            + times["volatile_apply"]
-        )
-        times["DeltaFS"] = times["append_client_journal"] + times["local_persist"]
-        times["RAMDisk"] = times["append_client_journal"] + times["volatile_apply"]
-
-        base = times["append_client_journal"]
-        per_seed.append([times[label] / base for label in labels])
+    per_seed = parallel_map(_fig5_seed, [(s, scale) for s in range(scale.seeds)])
     mean, std = aggregate(per_seed)
     return ExperimentResult(
         exp_id="fig5",
         title="Overhead of processing create events per mechanism",
         x_label="mechanism / system",
         y_label="overhead (x append client journal)",
-        series=[Series("overhead", labels, mean, std)],
+        series=[Series("overhead", _FIG5_LABELS, mean, std)],
         notes=[
             "paper anchors: rpcs ~17.9x, rpcs ~19.9x volatile_apply, "
             "nonvolatile_apply ~78x, stream ~2.4x, global ~0.2x over local",
         ],
-        meta={"scale": scale.name, "ops": ops},
+        meta={"scale": scale.name, "ops": scale.fig5_ops},
     )
 
 
@@ -346,41 +392,51 @@ def fig5(scale: Optional[Scale] = None) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
+def _fig6a_rpc_run(seed: int, n: int, scale: Scale) -> float:
+    cluster = _cluster(seed)
+    res = cluster.run(
+        parallel_creates_rpc(cluster, n, scale.ops_per_client,
+                             batch=scale.batch)
+    )
+    return res.job_throughput
+
+
+def _fig6a_dec_run(seed: int, n: int, merge: bool, scale: Scale) -> float:
+    cluster = _cluster(seed)
+    res = cluster.run(
+        parallel_creates_decoupled(
+            cluster, n, scale.ops_per_client,
+            persist_each=True, merge=merge,
+        )
+    )
+    return res.job_throughput
+
+
+def _fig6a_seed(task: Tuple[str, int, Scale]) -> List[float]:
+    """One semantics config at one seed: speedup over the client sweep."""
+    kind, seed, scale = task
+    base = _fig6a_rpc_run(seed, 1, scale)
+    if kind == "rpcs":
+        return [_fig6a_rpc_run(seed, n, scale) / base for n in scale.clients]
+    merge = kind == "decoupled: create+merge"
+    return [
+        _fig6a_dec_run(seed, n, merge, scale) / base for n in scale.clients
+    ]
+
+
 def fig6a(scale: Optional[Scale] = None) -> ExperimentResult:
     """Total-job speedup over 1-client RPCs for the three subtrees."""
     scale = scale or get_scale()
-
-    def rpc_run(seed: int, n: int) -> float:
-        cluster = _cluster(seed)
-        res = cluster.run(
-            parallel_creates_rpc(cluster, n, scale.ops_per_client,
-                                 batch=scale.batch)
-        )
-        return res.job_throughput
-
-    def dec_run(seed: int, n: int, merge: bool) -> float:
-        cluster = _cluster(seed)
-        res = cluster.run(
-            parallel_creates_decoupled(
-                cluster, n, scale.ops_per_client,
-                persist_each=True, merge=merge,
-            )
-        )
-        return res.job_throughput
-
-    configs: List[tuple] = [
-        ("rpcs", lambda seed, n: rpc_run(seed, n)),
-        ("decoupled: create", lambda seed, n: dec_run(seed, n, False)),
-        ("decoupled: create+merge", lambda seed, n: dec_run(seed, n, True)),
+    labels = ["rpcs", "decoupled: create", "decoupled: create+merge"]
+    tasks = [
+        (label, seed, scale)
+        for label in labels
+        for seed in range(scale.seeds)
     ]
+    rows = parallel_map(_fig6a_seed, tasks)
     series = []
-    for label, runner in configs:
-        per_seed = []
-        for seed in range(scale.seeds):
-            base = rpc_run(seed, 1)
-            per_seed.append(
-                [runner(seed, n) / base for n in scale.clients]
-            )
+    for idx, label in enumerate(labels):
+        per_seed = rows[idx * scale.seeds:(idx + 1) * scale.seeds]
         mean, std = aggregate(per_seed)
         series.append(Series(label, list(scale.clients), mean, std))
     return ExperimentResult(
@@ -443,22 +499,29 @@ def fig6b(scale: Optional[Scale] = None) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
+def _fig6c_seed(task: Tuple[int, Scale]) -> Tuple[List[float], Dict[float, int]]:
+    seed, scale = task
+    row = []
+    largest: Dict[float, int] = {}
+    for interval in scale.sync_intervals:
+        cluster = _cluster(seed)
+        d = cluster.new_decoupled_client()
+        stats = cluster.run(
+            synced_workload(cluster, d, "/sub", scale.sync_updates, interval)
+        )
+        row.append(stats.overhead * 100.0)
+        largest[interval] = stats.largest_batch
+    return row, largest
+
+
 def fig6c(scale: Optional[Scale] = None) -> ExperimentResult:
     """Overhead of syncing partial updates at different intervals."""
     scale = scale or get_scale()
-    per_seed = []
-    largest = {}
-    for seed in range(scale.seeds):
-        row = []
-        for interval in scale.sync_intervals:
-            cluster = _cluster(seed)
-            d = cluster.new_decoupled_client()
-            stats = cluster.run(
-                synced_workload(cluster, d, "/sub", scale.sync_updates, interval)
-            )
-            row.append(stats.overhead * 100.0)
-            largest[interval] = stats.largest_batch
-        per_seed.append(row)
+    rows = parallel_map(_fig6c_seed, [(s, scale) for s in range(scale.seeds)])
+    per_seed = [r[0] for r in rows]
+    largest: Dict[float, int] = {}
+    for _row, seed_largest in rows:  # merge in seed order (last wins)
+        largest.update(seed_largest)
     mean, std = aggregate(per_seed)
     return ExperimentResult(
         exp_id="fig6c",
@@ -478,6 +541,39 @@ def fig6c(scale: Optional[Scale] = None) -> ExperimentResult:
 # Faults: ops lost and recovery latency per durability policy
 # ---------------------------------------------------------------------------
 
+_FAULT_POLICIES = ["none", "local", "global"]
+_FAULT_DOWNTIME_S = 0.05
+
+
+def _faults_seed(task: Tuple[int, Scale]) -> Tuple[List[float], List[float]]:
+    from repro.faults import FaultInjector, FaultPlan
+
+    seed, scale = task
+    ops = max(64, min(scale.fig5_ops // 40, 1000))
+    lost_row, latency_row = [], []
+    for policy in _FAULT_POLICIES:
+        cluster = _cluster(seed)
+        d = cluster.new_decoupled_client(persist_each=(policy == "local"))
+        names = [f"f{i}" for i in range(ops)]
+        cluster.run(d.create_many("/burst", names))
+        if policy == "global":
+            ctx = MechanismContext(cluster, "/burst", d)
+            cluster.run(run_mechanism("global_persist", ctx))
+        t_crash = cluster.now + 0.01
+        mode = "global" if policy == "global" else "local"
+        plan = (
+            FaultPlan()
+            .crash(t_crash, d.name)
+            .recover(t_crash + _FAULT_DOWNTIME_S, d.name, mode=mode)
+        )
+        injector = FaultInjector(cluster, plan)
+        injector.start()
+        cluster.run()
+        lost_row.append(float(ops - d.pending_events))
+        target, crashed_at, recovered_at = injector.recoveries[-1]
+        latency_row.append(recovered_at - crashed_at)
+    return lost_row, latency_row
+
 
 def faults(scale: Optional[Scale] = None) -> ExperimentResult:
     """Crash a decoupled client after a create burst under each
@@ -490,54 +586,26 @@ def faults(scale: Optional[Scale] = None) -> ExperimentResult:
     (downtime plus the replay I/O), as recorded by the
     :class:`~repro.faults.injector.FaultInjector`.
     """
-    from repro.faults import FaultInjector, FaultPlan
-
     scale = scale or get_scale()
     ops = max(64, min(scale.fig5_ops // 40, 1000))
-    policies = ["none", "local", "global"]
-    downtime_s = 0.05
-    lost_rows, latency_rows = [], []
-    for seed in range(scale.seeds):
-        lost_row, latency_row = [], []
-        for policy in policies:
-            cluster = _cluster(seed)
-            d = cluster.new_decoupled_client(persist_each=(policy == "local"))
-            names = [f"f{i}" for i in range(ops)]
-            cluster.run(d.create_many("/burst", names))
-            if policy == "global":
-                ctx = MechanismContext(cluster, "/burst", d)
-                cluster.run(run_mechanism("global_persist", ctx))
-            t_crash = cluster.now + 0.01
-            mode = "global" if policy == "global" else "local"
-            plan = (
-                FaultPlan()
-                .crash(t_crash, d.name)
-                .recover(t_crash + downtime_s, d.name, mode=mode)
-            )
-            injector = FaultInjector(cluster, plan)
-            injector.start()
-            cluster.run()
-            lost_row.append(float(ops - d.pending_events))
-            target, crashed_at, recovered_at = injector.recoveries[-1]
-            latency_row.append(recovered_at - crashed_at)
-        lost_rows.append(lost_row)
-        latency_rows.append(latency_row)
-    lost_m, lost_s = aggregate(lost_rows)
-    lat_m, lat_s = aggregate(latency_rows)
+    rows = parallel_map(_faults_seed, [(s, scale) for s in range(scale.seeds)])
+    lost_m, lost_s = aggregate([r[0] for r in rows])
+    lat_m, lat_s = aggregate([r[1] for r in rows])
     return ExperimentResult(
         exp_id="faults",
         title="Durability spectrum under a client crash",
         x_label="durability policy",
         y_label="ops lost / recovery latency (s)",
         series=[
-            Series("ops lost", policies, lost_m, lost_s),
-            Series("recovery latency (s)", policies, lat_m, lat_s),
+            Series("ops lost", _FAULT_POLICIES, lost_m, lost_s),
+            Series("recovery latency (s)", _FAULT_POLICIES, lat_m, lat_s),
         ],
         notes=[
             "paper §III-B: none loses the burst; local recovers from the "
             "client's disk; global recovers from the object store",
         ],
-        meta={"scale": scale.name, "ops": ops, "downtime_s": downtime_s},
+        meta={"scale": scale.name, "ops": ops,
+              "downtime_s": _FAULT_DOWNTIME_S},
     )
 
 
@@ -546,30 +614,33 @@ def faults(scale: Optional[Scale] = None) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
+def _table1_seed(task: Tuple[int, Scale]) -> List[float]:
+    seed, scale = task
+    ops = scale.fig5_ops
+    cells = [(c, d) for d in Durability for c in Consistency]
+    labels = [f"{c.value}/{d.value}" for c, d in cells]
+    row = []
+    for c, d in cells:
+        policy = SubtreePolicy.from_semantics(c, d, allocated_inodes=0)
+        journal = "stream" in policy.plan.mechanisms
+        cluster = _cluster(seed, journal=journal)
+        cudele = Cudele(cluster)
+        ns = cluster.run(cudele.decouple("/cell", policy))
+        t0 = cluster.now
+        cluster.run(ns.create_many(ops))
+        cluster.run(ns.finalize())
+        row.append(cluster.now - t0)
+    base = row[labels.index("invisible/none")]
+    return [t / base for t in row]
+
+
 def table1(scale: Optional[Scale] = None) -> ExperimentResult:
     """Workload+completion time for all nine Table I cells, normalized
     to the weakest cell (invisible/none)."""
     scale = scale or get_scale()
-    ops = scale.fig5_ops
-    cells = [
-        (c, d) for d in Durability for c in Consistency
-    ]
+    cells = [(c, d) for d in Durability for c in Consistency]
     labels = [f"{c.value}/{d.value}" for c, d in cells]
-    per_seed = []
-    for seed in range(scale.seeds):
-        row = []
-        for c, d in cells:
-            policy = SubtreePolicy.from_semantics(c, d, allocated_inodes=0)
-            journal = "stream" in policy.plan.mechanisms
-            cluster = _cluster(seed, journal=journal)
-            cudele = Cudele(cluster)
-            ns = cluster.run(cudele.decouple("/cell", policy))
-            t0 = cluster.now
-            cluster.run(ns.create_many(ops))
-            cluster.run(ns.finalize())
-            row.append(cluster.now - t0)
-        base = row[labels.index("invisible/none")]
-        per_seed.append([t / base for t in row])
+    per_seed = parallel_map(_table1_seed, [(s, scale) for s in range(scale.seeds)])
     mean, std = aggregate(per_seed)
     return ExperimentResult(
         exp_id="table1",
@@ -580,7 +651,7 @@ def table1(scale: Optional[Scale] = None) -> ExperimentResult:
         notes=[
             "stronger guarantees cost monotonically more along each axis",
         ],
-        meta={"scale": scale.name, "ops": ops},
+        meta={"scale": scale.name, "ops": scale.fig5_ops},
     )
 
 

@@ -1,13 +1,96 @@
-"""Result containers and seed aggregation for the experiment runners."""
+"""Result containers, seed aggregation and parallel fan-out for the
+experiment runners.
+
+Seeded runs are embarrassingly parallel: every seed builds its own
+cluster, its own RNG streams and its own engine, and never shares state
+with a sibling.  :func:`parallel_map` exploits that — it fans a list of
+self-contained tasks out over a ``ProcessPoolExecutor`` and returns the
+results *in submission order*, so a parallel run is byte-identical to a
+serial one (guarded by ``tests/bench/test_parallel.py``).  Serial
+execution remains the default (``jobs=1``) and the automatic fallback
+whenever the task is not picklable or worker processes cannot be
+spawned.
+"""
 
 from __future__ import annotations
 
+import os
+import pickle
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
-__all__ = ["Series", "ExperimentResult", "aggregate", "run_seeds"]
+__all__ = [
+    "Series",
+    "ExperimentResult",
+    "aggregate",
+    "run_seeds",
+    "parallel_map",
+    "get_default_jobs",
+    "set_default_jobs",
+]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+#: Process-wide default worker count for :func:`parallel_map`; set by
+#: the ``--jobs`` CLI flag (or the ``REPRO_JOBS`` environment variable).
+_default_jobs: Optional[int] = None
+
+
+def set_default_jobs(jobs: int) -> None:
+    """Set the process-wide default worker count (min 1)."""
+    global _default_jobs
+    _default_jobs = max(1, int(jobs))
+
+
+def get_default_jobs() -> int:
+    """The worker count used when a call site does not pass ``jobs``.
+
+    Resolution order: :func:`set_default_jobs` override, then the
+    ``REPRO_JOBS`` environment variable, then 1 (serial).
+    """
+    if _default_jobs is not None:
+        return _default_jobs
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def parallel_map(
+    fn: Callable[[_T], _R], tasks: Sequence[_T], jobs: Optional[int] = None
+) -> List[_R]:
+    """``[fn(t) for t in tasks]``, optionally fanned out over processes.
+
+    Results always come back in task order, so output is byte-identical
+    to the serial list comprehension.  Falls back to serial execution
+    when ``jobs`` resolves to 1, when there is at most one task, when
+    ``fn``/``tasks`` cannot be pickled (e.g. a closure), or when worker
+    processes cannot be started on this host.  Exceptions raised by
+    ``fn`` propagate unchanged in either mode.
+    """
+    tasks = list(tasks)
+    if jobs is None:
+        jobs = get_default_jobs()
+    jobs = min(max(1, int(jobs)), len(tasks))
+    if jobs <= 1:
+        return [fn(task) for task in tasks]
+    try:
+        pickle.dumps((fn, tasks))
+    except Exception:
+        return [fn(task) for task in tasks]
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    try:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            return list(pool.map(fn, tasks))
+    except (OSError, BrokenProcessPool):
+        # Spawn failure (resource limits, sandboxed host, dead worker):
+        # degrade to serial rather than failing the experiment.
+        return [fn(task) for task in tasks]
 
 
 @dataclass
@@ -26,12 +109,38 @@ class Series:
             raise ValueError("yerr must match y length")
         if not self.yerr:
             self.yerr = [0.0] * len(self.y)
+        self._reindex()
+
+    def _reindex(self) -> None:
+        """(Re)build the x -> index map used by :meth:`at`/:meth:`err_at`.
+
+        First occurrence wins, matching ``list.index``.  Call again if
+        ``x`` is mutated in place after construction.
+        """
+        index: Dict[Any, int] = {}
+        try:
+            for i, x_value in enumerate(self.x):
+                index.setdefault(x_value, i)
+        except TypeError:  # unhashable x values: fall back to list.index
+            index = {}
+        self._index = index
+
+    def _position(self, x_value: Any) -> int:
+        try:
+            pos = self._index.get(x_value)
+        except TypeError:  # unhashable lookup value
+            pos = None
+        if pos is not None:
+            return pos
+        # Miss: defer to list.index, which handles post-construction
+        # mutation of ``x`` and raises the canonical ValueError.
+        return self.x.index(x_value)
 
     def at(self, x_value: Any) -> float:
-        return self.y[self.x.index(x_value)]
+        return self.y[self._position(x_value)]
 
     def err_at(self, x_value: Any) -> float:
-        return self.yerr[self.x.index(x_value)]
+        return self.yerr[self._position(x_value)]
 
 
 @dataclass
@@ -71,8 +180,15 @@ def aggregate(per_seed: Sequence[Sequence[float]]) -> Tuple[List[float], List[fl
     return list(arr.mean(axis=0)), list(arr.std(axis=0))
 
 
-def run_seeds(fn: Callable[[int], List[float]], seeds: int) -> Tuple[List[float], List[float]]:
-    """Run ``fn(seed)`` for each seed and aggregate the results."""
+def run_seeds(
+    fn: Callable[[int], List[float]], seeds: int, jobs: Optional[int] = None
+) -> Tuple[List[float], List[float]]:
+    """Run ``fn(seed)`` for each seed and aggregate the results.
+
+    With ``jobs > 1`` (or a process-wide default from ``--jobs`` /
+    ``REPRO_JOBS``) the seeds run in a process pool; results are merged
+    in seed order, so the aggregate is identical to a serial run.
+    """
     if seeds < 1:
         raise ValueError("need at least one seed")
-    return aggregate([fn(seed) for seed in range(seeds)])
+    return aggregate(parallel_map(fn, range(seeds), jobs=jobs))

@@ -171,7 +171,7 @@ class Client:
         if not self.up:
             raise OSError(f"{self.name} is crashed")
         mds = self._target(request.path)
-        yield Timeout(self.engine, op_count * cal.CLIENT_OP_OVERHEAD_S)
+        yield self.engine.sleep(op_count * cal.CLIENT_OP_OVERHEAD_S)
         attempt = 0
         backoff = self.retry.base_backoff_s
         while True:
@@ -187,7 +187,7 @@ class Client:
                     )
                 attempt += 1
                 self.stats.counter("rpc_retries").incr()
-                yield Timeout(self.engine, backoff)
+                yield self.engine.sleep(backoff)
                 backoff = min(
                     backoff * self.retry.multiplier, self.retry.max_backoff_s
                 )
@@ -196,7 +196,7 @@ class Client:
             # The MDS made us look up remotely before each create; pay the
             # client-side cost of those extra round trips.
             extra = op_count * (response.rpcs - 1)
-            yield Timeout(self.engine, extra * cal.CLIENT_OP_OVERHEAD_S)
+            yield self.engine.sleep(extra * cal.CLIENT_OP_OVERHEAD_S)
             self.cache.note_lookup(local=False)
         else:
             self.cache.note_lookup(local=True)

@@ -18,7 +18,7 @@ from repro import calibration as cal
 from repro.journal.events import EventType, JournalEvent, WIRE_EVENT_BYTES
 from repro.journal.journaler import LocalJournal
 from repro.sim.disk import Disk
-from repro.sim.engine import Engine, Event, Timeout
+from repro.sim.engine import Engine, Event
 from repro.sim.stats import StatsRegistry
 
 __all__ = ["DecoupledClient"]
@@ -92,7 +92,7 @@ class DecoupledClient:
         """Append creates for many files; returns ops recorded."""
         if isinstance(names_or_count, int):
             n = names_or_count
-            yield Timeout(self.engine, self._op_time(n))
+            yield self.engine.sleep(self._op_time(n))
             self.counted_ops += n
             if self.persist_each:
                 yield from self.disk.write(n * WIRE_EVENT_BYTES)
@@ -100,7 +100,7 @@ class DecoupledClient:
             self.stats.counter("ops").incr(n)
             return n
         names = list(names_or_count)
-        yield Timeout(self.engine, self._op_time(len(names)))
+        yield self.engine.sleep(self._op_time(len(names)))
         for name in names:
             path = dir_path.rstrip("/") + "/" + name
             self.journal.append(
@@ -119,7 +119,7 @@ class DecoupledClient:
         return len(names)
 
     def mkdir(self, path: str) -> Generator[Event, None, JournalEvent]:
-        yield Timeout(self.engine, self._op_time(1))
+        yield self.engine.sleep(self._op_time(1))
         ev = self.journal.append(
             JournalEvent(
                 EventType.MKDIR,
@@ -137,7 +137,7 @@ class DecoupledClient:
         return ev
 
     def unlink(self, path: str) -> Generator[Event, None, JournalEvent]:
-        yield Timeout(self.engine, self._op_time(1))
+        yield self.engine.sleep(self._op_time(1))
         ev = self.journal.append(
             JournalEvent(
                 EventType.UNLINK, path, mtime=self.engine.now,
@@ -151,7 +151,7 @@ class DecoupledClient:
         return ev
 
     def rename(self, src: str, dst: str) -> Generator[Event, None, JournalEvent]:
-        yield Timeout(self.engine, self._op_time(1))
+        yield self.engine.sleep(self._op_time(1))
         ev = self.journal.append(
             JournalEvent(
                 EventType.RENAME, src, target_path=dst,

@@ -220,7 +220,7 @@ class MetadataServer:
     def _delayed_reply(
         self, done: Event, response: Response, latency: float
     ) -> Generator[Event, None, None]:
-        yield Timeout(self.engine, latency)
+        yield self.engine.sleep(latency)
         if not done.triggered:
             done.succeed(response)
 
@@ -388,7 +388,7 @@ class MetadataServer:
 
     def _cpu(self, seconds: float) -> Generator[Event, None, None]:
         if seconds > 0:
-            yield Timeout(self.engine, seconds)
+            yield self.engine.sleep(seconds)
 
     # ------------------------------------------------------------------
     # handlers

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Generator
 
-from repro.sim.engine import Engine, Event, Timeout
+from repro.sim.engine import Engine, Event
 from repro.sim.resources import Resource
 
 __all__ = ["Disk"]
@@ -52,7 +52,7 @@ class Disk:
         req = self._queue.request()
         yield req
         try:
-            yield Timeout(self.engine, self.io_time(nbytes))
+            yield self.engine.sleep(self.io_time(nbytes))
         finally:
             self._queue.release(req)
 

@@ -15,16 +15,27 @@ Design notes
 ------------
 * The heap is keyed by ``(time, priority, seq)``; ``seq`` is a monotone
   tie-breaker which makes runs fully deterministic.
+* Zero-delay events take a heap-free fast path: when nothing already on
+  the heap is due at the current instant, a newly-triggered immediate
+  event is appended to a FIFO "now" queue that the loop drains before
+  popping the heap.  Because a new event always carries the largest
+  sequence number, FIFO draining yields exactly the order the
+  ``(time, priority, seq)`` heap would have produced — the contract is
+  preserved, the ``heappush``/``heappop`` round trip is not paid (see
+  docs/PERFORMANCE.md).
 * Events may have multiple waiters (processes and derived events), each
   notified in subscription order.
 * :class:`Interrupt` supports SimPy-style process interruption, used by
   the capability-revocation paths in the MDS model.
+* :meth:`Engine.sleep` hands out pooled one-shot timeouts for hot paths
+  that ``yield`` them directly and never retain a reference.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -56,6 +67,9 @@ _PENDING = 0
 _TRIGGERED = 1  # scheduled on the heap, callbacks not yet run
 _PROCESSED = 2  # callbacks have run
 
+#: Default scheduling priority; lower values run first at equal times.
+_DEFAULT_PRIORITY = 1
+
 
 class Event:
     """A one-shot occurrence in simulated time.
@@ -63,16 +77,22 @@ class Event:
     Events start *pending*; :meth:`succeed` or :meth:`fail` schedules them
     on the engine's heap, and when the clock reaches their time the engine
     runs their callbacks (resuming any waiting processes).
+
+    Waiter callbacks are stored as one inline slot (``_cb``) plus an
+    overflow list (``_cbs``): the overwhelmingly common case is a single
+    waiter, and the inline slot avoids allocating a list per event.
     """
 
-    __slots__ = ("engine", "_state", "_value", "_ok", "callbacks", "triggered_by")
+    __slots__ = ("engine", "_state", "_value", "_ok", "_cb", "_cbs",
+                 "triggered_by")
 
     def __init__(self, engine: "Engine"):
         self.engine = engine
         self._state = _PENDING
         self._value: Any = None
         self._ok = True
-        self.callbacks: list[Callable[["Event"], None]] = []
+        self._cb: Optional[Callable[["Event"], None]] = None
+        self._cbs: Optional[list] = None
         #: The process that triggered this event (None for host context).
         #: Gives analysis tooling (repro.analysis.races) the causality
         #: edge "whoever succeeded the event happens-before its waiters".
@@ -99,6 +119,14 @@ class Event:
             raise SimulationError("event not yet triggered")
         return self._value
 
+    @property
+    def callbacks(self) -> list:
+        """Registered waiter callbacks, in subscription order (a copy)."""
+        out = [] if self._cb is None else [self._cb]
+        if self._cbs is not None:
+            out.extend(self._cbs)
+        return out
+
     # -- triggering ----------------------------------------------------
     def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
         """Schedule this event to fire successfully after ``delay``."""
@@ -107,8 +135,23 @@ class Event:
         self._state = _TRIGGERED
         self._value = value
         self._ok = True
-        self.triggered_by = self.engine._active
-        self.engine._schedule(self, delay)
+        engine = self.engine
+        self.triggered_by = engine._active
+        # Inlined Engine._schedule fast path: succeed() is the hottest
+        # call in the simulator (every resume/grant/completion goes
+        # through it), so the zero-delay case avoids the extra frame.
+        if delay == 0.0:
+            heap = engine._heap
+            if not heap or heap[0][0] > engine._now or (
+                heap[0][0] == engine._now and heap[0][1] > _DEFAULT_PRIORITY
+            ):
+                engine._now_queue.append(self)
+                return self
+            heapq.heappush(
+                heap, (engine._now, _DEFAULT_PRIORITY, next(engine._seq), self)
+            )
+            return self
+        engine._schedule(self, delay)
         return self
 
     def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
@@ -127,16 +170,46 @@ class Event:
     # -- engine internals ----------------------------------------------
     def _process_callbacks(self) -> None:
         self._state = _PROCESSED
-        callbacks, self.callbacks = self.callbacks, []
-        for cb in callbacks:
+        cb = self._cb
+        if cb is not None:
+            self._cb = None
             cb(self)
+        cbs = self._cbs
+        if cbs is not None:
+            self._cbs = None
+            for cb in cbs:
+                cb(self)
 
     def add_callback(self, cb: Callable[["Event"], None]) -> None:
         """Register ``cb``; runs immediately if the event already fired."""
         if self._state == _PROCESSED:
             cb(self)
+        elif self._cb is None and self._cbs is None:
+            self._cb = cb
+        elif self._cbs is None:
+            self._cbs = [cb]
         else:
-            self.callbacks.append(cb)
+            self._cbs.append(cb)
+
+    def _discard_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Remove ``cb`` if registered (no-op otherwise)."""
+        if self._cb is not None and self._cb == cb:
+            # Promote the oldest overflow callback into the inline slot
+            # so subscription order is preserved.
+            if self._cbs:
+                self._cb = self._cbs.pop(0)
+                if not self._cbs:
+                    self._cbs = None
+            else:
+                self._cb = None
+            return
+        if self._cbs is not None:
+            try:
+                self._cbs.remove(cb)
+            except ValueError:
+                return
+            if not self._cbs:
+                self._cbs = None
 
 
 class Timeout(Event):
@@ -152,6 +225,30 @@ class Timeout(Event):
         self.succeed(value, delay=self.delay)
 
 
+class _PooledTimeout(Event):
+    """A recyclable one-shot timeout handed out by :meth:`Engine.sleep`.
+
+    After its callbacks run it is returned to the engine's free list and
+    later re-initialized for a new sleep, so steady-state hot loops pay
+    zero event allocations.  Contract: the caller ``yield``s it exactly
+    once and never retains a reference (see docs/PERFORMANCE.md).
+    Recycling is suppressed while a trace hook is attached or pooling is
+    disabled (``Engine.pool_limit = 0``, e.g. by the race detector,
+    whose causality walk may hold events across instants).
+    """
+
+    __slots__ = ()
+
+    def _process_callbacks(self) -> None:
+        Event._process_callbacks(self)
+        engine = self.engine
+        pool = engine._timeout_pool
+        if engine.trace is None and len(pool) < engine.pool_limit:
+            self._value = None
+            self.triggered_by = None
+            pool.append(self)
+
+
 class Process(Event):
     """A running simulated process wrapping a generator.
 
@@ -160,7 +257,8 @@ class Process(Event):
     each other simply by yielding them.
     """
 
-    __slots__ = ("generator", "name", "_waiting_on", "last_resumed_by")
+    __slots__ = ("generator", "name", "_waiting_on", "last_resumed_by",
+                 "_bound_resume")
 
     def __init__(
         self,
@@ -178,9 +276,12 @@ class Process(Event):
         #: with Event.triggered_by this forms the happens-before chain
         #: the same-instant race detector walks.
         self.last_resumed_by: Optional[Event] = None
+        # One bound method reused for every wait registration (a fresh
+        # bound-method object per step would be allocation churn).
+        self._bound_resume = self._resume
         # Kick-start on the next engine step at the current time.
         init = Event(engine)
-        init.add_callback(self._resume)
+        init._cb = self._bound_resume
         init.succeed()
 
     @property
@@ -204,10 +305,7 @@ class Process(Event):
                 # the original failure (the interrupt-during-crash race),
                 # so the interrupt is discarded in favour of the failure.
                 return
-            try:
-                target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
+            target._discard_callback(self._bound_resume)
             resource = getattr(target, "resource", None)
             if resource is not None and not target.triggered:
                 resource.release(target)  # cancel the queued request
@@ -221,34 +319,33 @@ class Process(Event):
             self.last_resumed_by = ev
             self._throw(Interrupt(cause))
 
-        wake.add_callback(_deliver)
+        wake._cb = _deliver
         wake.succeed()
 
     # -- stepping --------------------------------------------------------
     def _resume(self, event: Event) -> None:
-        if not self.is_alive:
+        if self._state != _PENDING:
             return
         self._waiting_on = None
         self.last_resumed_by = event
         if event._ok:
-            self._step(lambda: self.generator.send(event._value))
+            self._step(self.generator.send, event._value)
         else:
-            exc = event._value
-            self._step(lambda: self.generator.throw(exc))
+            self._step(self.generator.throw, event._value)
 
     def _throw(self, exc: BaseException) -> None:
-        if not self.is_alive:
+        if self._state != _PENDING:
             return
         self._waiting_on = None
-        self._step(lambda: self.generator.throw(exc))
+        self._step(self.generator.throw, exc)
 
-    def _step(self, advance: Callable[[], Any]) -> None:
+    def _step(self, advance: Callable[[Any], Any], arg: Any) -> None:
         engine = self.engine
         prev_active = engine._active
         engine._active = self
         try:
             try:
-                target = advance()
+                target = advance(arg)
             except StopIteration as stop:
                 self.succeed(stop.value)
                 return
@@ -264,7 +361,7 @@ class Process(Event):
                 )
                 return
             self._waiting_on = target
-            target.add_callback(self._resume)
+            target.add_callback(self._bound_resume)
         finally:
             engine._active = prev_active
 
@@ -334,9 +431,17 @@ class Engine:
         assert eng.now == 3.0 and p.value == "done"
     """
 
+    #: Default cap on the pooled-timeout free list (per engine).
+    DEFAULT_POOL_LIMIT = 64
+
     def __init__(self):
         self._now = 0.0
         self._heap: list[tuple[float, int, int, Event]] = []
+        #: FIFO of already-due events (the zero-delay fast path); always
+        #: drained before the heap.  Every entry is at time ``_now`` with
+        #: default priority and a conceptually-larger seq than anything
+        #: on the heap at that instant (enforced at append time).
+        self._now_queue: deque[Event] = deque()
         self._seq = itertools.count()
         self.processes_started = 0
         #: The process currently being stepped (None between steps /
@@ -346,6 +451,11 @@ class Engine:
         #: (see :mod:`repro.sim.trace`); None keeps the hot loop branch-
         #: predictable and cheap.
         self.trace = None
+        #: Free list for :meth:`sleep`; instrumentation that inspects
+        #: events after dispatch (e.g. the race detector) sets
+        #: ``pool_limit = 0`` to disable recycling.
+        self._timeout_pool: list[_PooledTimeout] = []
+        self.pool_limit = self.DEFAULT_POOL_LIMIT
 
     @property
     def now(self) -> float:
@@ -360,6 +470,28 @@ class Engine:
     # -- construction helpers -------------------------------------------
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
+
+    def sleep(self, delay: float, value: Any = None) -> Event:
+        """A pooled one-shot timeout for hot paths.
+
+        Semantically identical to :class:`Timeout` with one restriction:
+        the returned event must be ``yield``-ed directly and not stored,
+        combined (``AllOf``/``AnyOf``) or re-inspected afterwards — it is
+        recycled for reuse as soon as its callbacks have run.
+        """
+        if delay < 0:
+            raise ValueError(f"negative sleep delay: {delay!r}")
+        pool = self._timeout_pool
+        if pool:
+            ev = pool.pop()
+            ev._state = _PENDING
+            ev._cb = None
+            ev._cbs = None
+            ev._ok = True
+        else:
+            ev = _PooledTimeout(self)
+        ev.succeed(value, delay=delay)
+        return ev
 
     def event(self) -> Event:
         return Event(self)
@@ -380,33 +512,76 @@ class Engine:
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        if delay == 0.0 and priority == _DEFAULT_PRIORITY:
+            # Fast path: the event is due *now*.  It may jump the heap
+            # only if nothing on the heap is also due now — a new event
+            # always holds the largest seq, so anything already heaped at
+            # this instant (and default-or-better priority) sorts first.
+            heap = self._heap
+            if not heap or heap[0][0] > self._now or (
+                heap[0][0] == self._now and heap[0][1] > priority
+            ):
+                self._now_queue.append(event)
+                return
         heapq.heappush(self._heap, (self._now + delay, priority, next(self._seq), event))
 
     # -- running ----------------------------------------------------------
     def step(self) -> None:
         """Advance the clock to, and process, the next scheduled event."""
-        when, _prio, _seq, event = heapq.heappop(self._heap)
-        self._now = when
+        queue = self._now_queue
+        if queue:
+            heap = self._heap
+            if heap and heap[0][1] < _DEFAULT_PRIORITY and heap[0][0] <= self._now:
+                # A same-instant, higher-priority heap entry outranks the
+                # FIFO (the fast path never admits those).
+                event = heapq.heappop(heap)[3]
+            else:
+                event = queue.popleft()
+        else:
+            when, _prio, _seq, event = heapq.heappop(self._heap)
+            self._now = when
         if self.trace is not None:
-            self.trace(when, event)
+            self.trace(self._now, event)
         event._process_callbacks()
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        if self._now_queue:
+            return self._now
         return self._heap[0][0] if self._heap else float("inf")
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the heap drains or the clock passes ``until``.
+        """Run until the queues drain or the clock passes ``until``.
 
         When ``until`` is given the clock is left exactly at ``until``
         (standard DES semantics), even if no event fires there.
         """
         if until is not None and until < self._now:
             raise SimulationError(f"until={until} is in the past (now={self._now})")
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
+        queue = self._now_queue
+        heap = self._heap
+        if until is None:
+            # Hot loop: Engine.step inlined minus the dead branches (the
+            # now-queue never holds non-default priorities, so the only
+            # check needed against the heap is done at append time).
+            heappop = heapq.heappop
+            while queue or heap:
+                if queue:
+                    if heap and heap[0][1] < _DEFAULT_PRIORITY and heap[0][0] <= self._now:
+                        event = heappop(heap)[3]
+                    else:
+                        event = queue.popleft()
+                else:
+                    item = heappop(heap)
+                    self._now = item[0]
+                    event = item[3]
+                if self.trace is not None:
+                    self.trace(self._now, event)
+                event._process_callbacks()
+            return
+        while queue or heap:
+            if not queue and heap[0][0] > until:
                 self._now = until
                 return
             self.step()
-        if until is not None:
-            self._now = until
+        self._now = until

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Generator, Set, Tuple
 
-from repro.sim.engine import Engine, Event, Timeout
+from repro.sim.engine import Engine, Event
 from repro.sim.resources import Resource
 
 __all__ = ["Link", "Network", "PartitionError"]
@@ -60,10 +60,10 @@ class Link:
         req = self._pipe.request()
         yield req
         try:
-            yield Timeout(self.engine, nbytes / self.bandwidth_bps)
+            yield self.engine.sleep(nbytes / self.bandwidth_bps)
         finally:
             self._pipe.release(req)
-        yield Timeout(self.engine, self.latency_s)
+        yield self.engine.sleep(self.latency_s)
 
 
 class Network:

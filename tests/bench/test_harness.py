@@ -85,3 +85,33 @@ def test_get_scale_env(monkeypatch):
     assert get_scale("paper").name == "paper"
     with pytest.raises(KeyError):
         get_scale("galactic")
+
+
+def test_aggregate_single_seed():
+    means, stds = aggregate([[4.0, 8.0]])
+    assert means == [4.0, 8.0]
+    assert stds == [0.0, 0.0]
+
+
+def test_aggregate_ragged_raises():
+    with pytest.raises(ValueError):
+        aggregate([[1.0, 2.0], [3.0]])
+
+
+def test_series_duplicate_x_first_occurrence_wins():
+    s = Series("s", [1, 2, 1], [10.0, 20.0, 30.0])
+    assert s.at(1) == 10.0  # matches list.index semantics
+
+
+def test_series_unhashable_x_falls_back_to_linear_scan():
+    s = Series("s", [[1], [2]], [10.0, 20.0])
+    assert s.at([2]) == 20.0
+    with pytest.raises(ValueError):
+        s.at([3])
+
+
+def test_series_at_after_inplace_mutation():
+    s = Series("s", [1, 2], [10.0, 20.0])
+    s.x.append(3)
+    s.y.append(30.0)
+    assert s.at(3) == 30.0  # index map misses; list.index catches up

@@ -59,3 +59,62 @@ def test_cli_json_requires_dir(capsys):
     from repro.bench.__main__ import main
 
     assert main(["--json"]) == 2
+
+
+def test_format_result_of_loaded_artifact_matches_original(tmp_path):
+    """format_result + dump_json/load_json round-trip: rendering the
+    reloaded result is identical to rendering the original."""
+    from repro.bench.report import format_result
+
+    original = sample()
+    loaded = load_json(dump_json(original, tmp_path))
+    assert format_result(loaded) == format_result(original)
+
+
+def test_cli_unknown_experiment_does_not_create_json_dir(tmp_path, capsys):
+    from repro.bench.__main__ import main
+
+    target = tmp_path / "artifacts"
+    assert main(["--json", str(target), "not_an_experiment"]) == 2
+    assert not target.exists()
+
+
+def test_cli_jobs_requires_integer(capsys):
+    from repro.bench.__main__ import main
+
+    assert main(["--jobs"]) == 2
+    assert main(["--jobs", "many"]) == 2
+
+
+def test_cli_compare_missing_file_exits_2(tmp_path, capsys):
+    from repro.bench.__main__ import main
+
+    assert main(["compare", str(tmp_path / "a.json"),
+                 str(tmp_path / "b.json")]) == 2
+    assert "missing artifact" in capsys.readouterr().err
+
+
+def test_cli_compare_malformed_json_exits_2(tmp_path, capsys):
+    from repro.bench.__main__ import main
+
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    good = dump_json(sample(), tmp_path)
+    assert main(["compare", str(bad), str(good)]) == 2
+    assert "malformed" in capsys.readouterr().err
+
+
+def test_cli_compare_missing_keys_exits_2(tmp_path, capsys):
+    from repro.bench.__main__ import main
+
+    bad = tmp_path / "empty.json"
+    bad.write_text("{}")
+    good = dump_json(sample(), tmp_path)
+    assert main(["compare", str(bad), str(good)]) == 2
+
+
+def test_cli_compare_bad_tolerance_exits_2(tmp_path, capsys):
+    from repro.bench.__main__ import main
+
+    good = dump_json(sample(), tmp_path)
+    assert main(["compare", str(good), str(good), "lots"]) == 2
