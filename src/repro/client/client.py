@@ -98,6 +98,9 @@ class Client:
         self.stats = StatsRegistry(engine, self.name)
         self.retry = retry or RetryPolicy()
         self.up = True
+        #: Conformance history recorder (see ``repro.conformance``);
+        #: None keeps the hot path unobserved.
+        self.recorder = None
         #: Optional per-path MDS routing (multi-MDS subtree partitioning);
         #: ``router(path) -> MetadataServer``.  None pins to ``mds``.
         self.router = router
@@ -129,12 +132,16 @@ class Client:
         self.up = False
         self.cache = ClientCache(self.client_id)
         self.stats.counter("crashes").incr()
+        if self.recorder is not None:
+            self.recorder.record_crash(self.name)
 
     def recover(self) -> None:
         if self.up:
             return
         self.up = True
         self.stats.counter("recoveries").incr()
+        if self.recorder is not None:
+            self.recorder.record_recover(self.name, mode="rpc")
 
     # -- plumbing -----------------------------------------------------------
     def _exchange(
@@ -171,6 +178,13 @@ class Client:
         if not self.up:
             raise OSError(f"{self.name} is crashed")
         mds = self._target(request.path)
+        rec = self.recorder
+        op_ids = None
+        if rec is not None:
+            op_ids = rec.record_invoke(
+                self.name, request.op, rec.request_paths(request),
+                self.client_id,
+            )
         yield self.engine.sleep(op_count * cal.CLIENT_OP_OVERHEAD_S)
         attempt = 0
         backoff = self.retry.base_backoff_s
@@ -182,9 +196,14 @@ class Client:
                 self.stats.counter("rpc_failures").incr()
                 if attempt >= self.retry.max_retries:
                     self.stats.counter("rpc_giveups").incr()
-                    return Response(
+                    response = Response(
                         ok=False, error=f"ETIMEDOUT: {exc}", rpcs=1
                     )
+                    if rec is not None:
+                        rec.record_complete(
+                            self.name, op_ids, False, error=response.error
+                        )
+                    return response
                 attempt += 1
                 self.stats.counter("rpc_retries").incr()
                 yield self.engine.sleep(backoff)
@@ -200,6 +219,8 @@ class Client:
             self.cache.note_lookup(local=False)
         else:
             self.cache.note_lookup(local=True)
+        if rec is not None:
+            rec.record_complete(self.name, op_ids, response.ok, error=response.error)
         return response
 
     # -- operations ------------------------------------------------------------

@@ -57,6 +57,9 @@ class DecoupledClient:
         #: disk dies with it (``crash(lose_disk=True)``).
         self._persisted_events: list = []
         self._persisted_counted = 0
+        #: Conformance history recorder (see ``repro.conformance``);
+        #: None keeps the append path unobserved.
+        self.recorder = None
 
     # -- inode provisioning -------------------------------------------------
     def assign_inodes(self, ino_range) -> None:
@@ -100,10 +103,19 @@ class DecoupledClient:
             self.stats.counter("ops").incr(n)
             return n
         names = list(names_or_count)
+        rec = self.recorder
+        op_ids = None
+        if rec is not None:
+            base = dir_path.rstrip("/")
+            op_ids = rec.record_invoke(
+                self.name, "create", [f"{base}/{n}" for n in names],
+                self.client_id,
+            )
         yield self.engine.sleep(self._op_time(len(names)))
+        appended = []
         for name in names:
             path = dir_path.rstrip("/") + "/" + name
-            self.journal.append(
+            appended.append(self.journal.append(
                 JournalEvent(
                     EventType.CREATE,
                     path,
@@ -111,7 +123,9 @@ class DecoupledClient:
                     mtime=self.engine.now,
                     client_id=self.client_id,
                 )
-            )
+            ))
+        if rec is not None:
+            rec.record_complete(self.name, op_ids, True, events=appended)
         if self.persist_each:
             yield from self.disk.write(len(names) * WIRE_EVENT_BYTES)
             self.note_local_persist()
@@ -119,6 +133,10 @@ class DecoupledClient:
         return len(names)
 
     def mkdir(self, path: str) -> Generator[Event, None, JournalEvent]:
+        rec = self.recorder
+        op_ids = None
+        if rec is not None:
+            op_ids = rec.record_invoke(self.name, "mkdir", [path], self.client_id)
         yield self.engine.sleep(self._op_time(1))
         ev = self.journal.append(
             JournalEvent(
@@ -130,6 +148,8 @@ class DecoupledClient:
                 client_id=self.client_id,
             )
         )
+        if rec is not None:
+            rec.record_complete(self.name, op_ids, True, events=[ev])
         if self.persist_each:
             yield from self.disk.write(WIRE_EVENT_BYTES)
             self.note_local_persist()
@@ -137,6 +157,10 @@ class DecoupledClient:
         return ev
 
     def unlink(self, path: str) -> Generator[Event, None, JournalEvent]:
+        rec = self.recorder
+        op_ids = None
+        if rec is not None:
+            op_ids = rec.record_invoke(self.name, "unlink", [path], self.client_id)
         yield self.engine.sleep(self._op_time(1))
         ev = self.journal.append(
             JournalEvent(
@@ -144,6 +168,8 @@ class DecoupledClient:
                 client_id=self.client_id,
             )
         )
+        if rec is not None:
+            rec.record_complete(self.name, op_ids, True, events=[ev])
         if self.persist_each:
             yield from self.disk.write(WIRE_EVENT_BYTES)
             self.note_local_persist()
@@ -151,6 +177,10 @@ class DecoupledClient:
         return ev
 
     def rename(self, src: str, dst: str) -> Generator[Event, None, JournalEvent]:
+        rec = self.recorder
+        op_ids = None
+        if rec is not None:
+            op_ids = rec.record_invoke(self.name, "rename", [src], self.client_id)
         yield self.engine.sleep(self._op_time(1))
         ev = self.journal.append(
             JournalEvent(
@@ -158,6 +188,8 @@ class DecoupledClient:
                 mtime=self.engine.now, client_id=self.client_id,
             )
         )
+        if rec is not None:
+            rec.record_complete(self.name, op_ids, True, events=[ev])
         if self.persist_each:
             yield from self.disk.write(WIRE_EVENT_BYTES)
             self.note_local_persist()
@@ -185,6 +217,8 @@ class DecoupledClient:
         self._persisted_events = list(self.journal.events)
         self._persisted_counted = self.counted_ops
         self.stats.counter("local_persists").incr()
+        if self.recorder is not None:
+            self.recorder.record_local_persist(self)
 
     def crash(self, lose_disk: bool = False) -> int:
         """Simulate a client crash: the in-memory journal is lost.
@@ -206,6 +240,8 @@ class DecoupledClient:
             self._persisted_events = []
             self._persisted_counted = 0
         self.stats.counter("crashes").incr()
+        if self.recorder is not None:
+            self.recorder.record_crash(self.name, lose_disk=lose_disk, lost=lost)
         return lost
 
     # -- recovery (process bodies) ------------------------------------------
@@ -221,6 +257,8 @@ class DecoupledClient:
         self.journal.restore(self._persisted_events)
         self.counted_ops = self._persisted_counted
         self.stats.counter("recoveries").incr()
+        if self.recorder is not None:
+            self.recorder.record_client_recover(self, mode="local")
         return n
 
     def recover_global(self, striper) -> Generator[Event, None, int]:
@@ -236,4 +274,6 @@ class DecoupledClient:
         )
         self.journal = recovered
         self.stats.counter("recoveries").incr()
+        if self.recorder is not None:
+            self.recorder.record_client_recover(self, mode="global")
         return len(recovered)

@@ -79,6 +79,10 @@ class Cluster:
             self.mon.subscribe(osd.name)
         self._clients: List[Client] = []
         self._dclients: List[DecoupledClient] = []
+        #: Conformance history recorder (set by
+        #: ``repro.conformance.HistoryRecorder.attach``); propagated to
+        #: clients created after attachment.
+        self.recorder = None
 
     @staticmethod
     def _rank_config(cfg: MDSConfig, rank: int) -> MDSConfig:
@@ -127,6 +131,8 @@ class Cluster:
             router=self.mds_for if len(self.mds_list) > 1 else None,
             retry=retry,
         )
+        if self.recorder is not None:
+            client.recorder = self.recorder
         self._clients.append(client)
         return client
 
@@ -136,6 +142,8 @@ class Cluster:
             client_id=1000 + len(self._dclients) + 1,
             persist_each=persist_each,
         )
+        if self.recorder is not None:
+            client.recorder = self.recorder
         self._dclients.append(client)
         return client
 

@@ -1,0 +1,44 @@
+"""Conformance oracle: recorded histories vs. the semantics spectra.
+
+The paper's Table I promises nine different (consistency, durability)
+contracts.  This package checks that the simulated system actually
+honors them: a :class:`HistoryRecorder` hooks a live cluster and logs
+every invoke/complete/visible/persisted/crash/recover transition, a
+:class:`ReferenceModel` gives the sequential spec of the namespace, and
+:func:`check_history` renders a verdict with one stable violation code
+per way a cell's contract can break.  ``python -m repro.conformance``
+fans the seeded scenario matrix out (optionally ``--jobs N``) and emits
+a canonical JSON verdict artifact.
+"""
+
+from repro.conformance.checkers import (
+    VIOLATION_CODES,
+    Violation,
+    check_history,
+    verdict_json,
+)
+from repro.conformance.driver import (
+    CELLS,
+    run_cell,
+    run_matrix,
+)
+from repro.conformance.history import History, HistoryEvent, MUTATION_OPS
+from repro.conformance.model import ModelError, ModelNode, ReferenceModel
+from repro.conformance.recorder import HistoryRecorder
+
+__all__ = [
+    "CELLS",
+    "History",
+    "HistoryEvent",
+    "HistoryRecorder",
+    "MUTATION_OPS",
+    "ModelError",
+    "ModelNode",
+    "ReferenceModel",
+    "VIOLATION_CODES",
+    "Violation",
+    "check_history",
+    "run_cell",
+    "run_matrix",
+    "verdict_json",
+]

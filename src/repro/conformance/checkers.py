@@ -1,0 +1,471 @@
+"""The conformance checkers: history -> verdict.
+
+:func:`check_history` decides whether one recorded history conforms to
+a (consistency, durability) cell of the paper's Table I:
+
+* **strong** — every acknowledged mutation was visible in the MDS's
+  authoritative store no later than its acknowledgement;
+* **weak** — the owner's updates stay invisible outside Volatile Apply
+  merge windows, and every surviving update converges at merge time;
+* **invisible** — the owner's updates never become globally visible;
+* **none / local / global durability** — what recovery restores after a
+  crash equals exactly the prefix the durability scope persisted;
+* always — well-formedness (completions match invocations, time never
+  runs backwards, inode allocations are unique, persists land in
+  order) and a full replay of the visible history through the
+  :class:`~repro.conformance.model.ReferenceModel`, compared against
+  the driver's end-of-run snapshot.
+
+Each distinct failure mode carries a distinct stable code (the
+negative-path tests assert on them); verdicts serialize to canonical
+JSON so golden runs are byte-comparable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.conformance.history import History, HistoryEvent, MUTATION_OPS
+from repro.conformance.model import ReferenceModel
+
+__all__ = ["Violation", "VIOLATION_CODES", "check_history", "verdict_json"]
+
+#: Every code a checker can emit (documented contract; tests assert
+#: distinctness of the negative-path injections against this set).
+VIOLATION_CODES = (
+    "complete-without-invoke",
+    "time-reversed",
+    "dup-ino-allocation",
+    "persist-prefix-reorder",
+    "strong-unseen-completion",
+    "weak-early-visibility",
+    "weak-not-converged",
+    "invisible-cross-client-visibility",
+    "durability-none-survivor",
+    "durability-local-lost",
+    "durability-local-phantom",
+    "durability-global-lost",
+    "durability-global-phantom",
+    "model-divergence",
+)
+
+
+@dataclass
+class Violation:
+    """One conformance failure, anchored to the history."""
+
+    code: str
+    message: str
+    t: Optional[float] = None
+    path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.code not in VIOLATION_CODES:
+            raise ValueError(f"unknown violation code {self.code!r}")
+
+    def to_dict(self) -> Dict:
+        out = {"code": self.code, "message": self.message}
+        if self.t is not None:
+            out["t"] = self.t
+        if self.path is not None:
+            out["path"] = self.path
+        return out
+
+
+def _mds_actors(history: History) -> set:
+    """Actors that are metadata servers, inferred from the roles only an
+    MDS plays in a history (merge windows, journal-replay recoveries,
+    namespace snapshots, crashes that lose journal events)."""
+    actors = set()
+    for e in history:
+        if e.kind in ("merge_begin", "merge_end", "snapshot"):
+            actors.add(e.actor)
+        elif e.kind == "recover" and e.detail.get("mode") == "journal-replay":
+            actors.add(e.actor)
+        elif e.kind == "crash" and "journal_events_lost" in e.detail:
+            actors.add(e.actor)
+    return actors
+
+
+def _infer_owner(history: History) -> Optional[str]:
+    for e in history:
+        if e.kind == "invoke":
+            return e.actor
+    return None
+
+
+# ---------------------------------------------------------------------------
+# well-formedness
+# ---------------------------------------------------------------------------
+
+
+def _check_wellformed(history: History, out: List[Violation]) -> None:
+    last_t = float("-inf")
+    invokes: Dict[int, HistoryEvent] = {}
+    alloc: Dict[int, str] = {}
+    persist_marks: Dict[Tuple[str, str], int] = {}
+    for e in history:
+        if e.t < last_t:
+            out.append(Violation(
+                "time-reversed",
+                f"{e.kind} by {e.actor} at t={e.t} after t={last_t}",
+                t=e.t, path=e.path,
+            ))
+        last_t = max(last_t, e.t)
+        if e.kind == "invoke" and e.op_id is not None:
+            invokes[e.op_id] = e
+        elif e.kind == "complete":
+            inv = invokes.get(e.op_id)
+            if inv is None:
+                out.append(Violation(
+                    "complete-without-invoke",
+                    f"completion of op_id={e.op_id} by {e.actor} has no "
+                    "matching invocation",
+                    t=e.t,
+                ))
+            elif e.t < inv.t:
+                out.append(Violation(
+                    "time-reversed",
+                    f"op_id={e.op_id} completed at t={e.t} before its "
+                    f"invocation at t={inv.t}",
+                    t=e.t, path=inv.path,
+                ))
+            if e.ok and e.ino:
+                inv_op = inv.op if inv is not None else None
+                inv_path = inv.path if inv is not None else None
+                if inv_op in ("create", "mkdir") and inv_path is not None:
+                    _note_alloc(alloc, e.ino, inv_path, e.t, out)
+        elif e.kind == "visible" and e.op in ("create", "mkdir") and e.ino:
+            _note_alloc(alloc, e.ino, e.path, e.t, out)
+        elif e.kind == "persisted" and e.seq is not None:
+            key = (e.actor, e.scope or "")
+            mark = persist_marks.get(key, 0)
+            if e.seq <= mark:
+                out.append(Violation(
+                    "persist-prefix-reorder",
+                    f"{e.actor} persisted seq={e.seq} ({e.scope}) after "
+                    f"seq={mark}; persisted prefixes must extend in order",
+                    t=e.t, path=e.path,
+                ))
+            persist_marks[key] = max(mark, e.seq)
+
+
+def _note_alloc(
+    alloc: Dict[int, str], ino: int, path: str, t: float,
+    out: List[Violation],
+) -> None:
+    seen = alloc.get(ino)
+    if seen is not None and seen != path:
+        out.append(Violation(
+            "dup-ino-allocation",
+            f"inode {ino} allocated for both {seen} and {path}",
+            t=t, path=path,
+        ))
+    alloc.setdefault(ino, path)
+
+
+# ---------------------------------------------------------------------------
+# consistency
+# ---------------------------------------------------------------------------
+
+
+def _check_strong(
+    history: History, owner: str, out: List[Violation]
+) -> None:
+    """Strong: an acknowledged mutation is already globally visible."""
+    invokes = {
+        e.op_id: e for e in history
+        if e.kind == "invoke" and e.actor == owner and e.op_id is not None
+    }
+    visible = {}  # (op, path) -> earliest visible t
+    for e in history:
+        if e.kind == "visible":
+            key = (e.op, e.path)
+            if key not in visible:
+                visible[key] = e.t
+    for e in history:
+        if e.kind != "complete" or e.actor != owner or not e.ok:
+            continue
+        inv = invokes.get(e.op_id)
+        if inv is None or inv.op not in MUTATION_OPS:
+            continue
+        t_vis = visible.get((inv.op, inv.path))
+        if t_vis is None or t_vis > e.t:
+            out.append(Violation(
+                "strong-unseen-completion",
+                f"{inv.op} {inv.path} acknowledged at t={e.t} but not "
+                "visible in the authoritative store by then",
+                t=e.t, path=inv.path,
+            ))
+
+
+def _check_weak(
+    history: History, owner: str, owner_client: Optional[int],
+    out: List[Violation],
+) -> None:
+    """Weak: invisible until Volatile Apply, then fully merged."""
+    depth = 0
+    journal: Dict[int, str] = {}  # surviving journal: seq -> path
+    pending_count: Optional[int] = None
+    for e in history:
+        if e.kind == "complete" and e.actor == owner and e.ok and e.seq:
+            journal[e.seq] = e.path or ""
+        elif e.kind == "crash" and e.actor == owner:
+            journal.clear()
+        elif e.kind == "recovered" and e.actor == owner and e.seq:
+            journal[e.seq] = e.path or ""
+        elif e.kind == "merge_begin":
+            depth += 1
+            if e.client == owner_client:
+                # The shipped count may differ from the journal length:
+                # conflict resolution rewrites the stream before it
+                # ships.  Convergence is judged on what the MDS resolved.
+                pending_count = e.detail.get("count")
+        elif e.kind == "merge_end":
+            depth = max(0, depth - 1)
+            if e.client == owner_client:
+                applied = e.detail.get("applied", 0)
+                conflicts = e.detail.get("conflicts", 0)
+                if pending_count is not None and \
+                        applied + conflicts != pending_count:
+                    out.append(Violation(
+                        "weak-not-converged",
+                        f"merge resolved {applied}+{conflicts} of "
+                        f"{pending_count} shipped updates",
+                        t=e.t, path=e.path,
+                    ))
+                journal.clear()
+                pending_count = None
+        elif e.kind == "visible" and e.client == owner_client and depth == 0:
+            out.append(Violation(
+                "weak-early-visibility",
+                f"{e.op} {e.path} became visible outside any Volatile "
+                "Apply merge window",
+                t=e.t, path=e.path,
+            ))
+    if journal:
+        out.append(Violation(
+            "weak-not-converged",
+            f"{len(journal)} surviving updates were never merged",
+        ))
+
+
+def _check_invisible(
+    history: History, owner: str, owner_client: Optional[int],
+    out: List[Violation],
+) -> None:
+    for e in history:
+        if e.kind == "visible" and e.client == owner_client:
+            out.append(Violation(
+                "invisible-cross-client-visibility",
+                f"{e.op} {e.path} by client {e.client} became globally "
+                "visible under invisible consistency",
+                t=e.t, path=e.path,
+            ))
+        elif e.kind == "merge_begin" and e.client == owner_client:
+            out.append(Violation(
+                "invisible-cross-client-visibility",
+                f"client {e.client}'s journal was merged at the MDS "
+                "under invisible consistency",
+                t=e.t, path=e.path,
+            ))
+
+
+# ---------------------------------------------------------------------------
+# durability
+# ---------------------------------------------------------------------------
+
+
+def _check_durability(
+    history: History, durability: str, owner: str, mds_actors: set,
+    out: List[Violation],
+) -> None:
+    """Recovery must restore exactly the persisted prefix.
+
+    For the owner (decoupled) client the scope is the scenario's
+    durability level; for an MDS the journal lives in the object store,
+    so its replay is always held to the *global* prefix.
+    """
+    persisted: Dict[Tuple[str, str], Dict[int, str]] = {}
+    recovered: Dict[str, List[HistoryEvent]] = {}
+    crashed: Dict[str, Dict] = {}
+    for e in history:
+        if e.kind == "persisted" and e.seq is not None:
+            persisted.setdefault((e.actor, e.scope or ""), {})[e.seq] = \
+                e.path or ""
+        elif e.kind == "crash":
+            crashed[e.actor] = e.detail
+            recovered[e.actor] = []
+            if e.detail.get("lose_disk"):
+                persisted.pop((e.actor, "local"), None)
+        elif e.kind == "recovered":
+            recovered.setdefault(e.actor, []).append(e)
+        elif e.kind == "recover":
+            if e.actor not in crashed:
+                # Plain restart (e.g. Nonvolatile Apply's MDS bounce):
+                # nothing was lost, nothing to hold recovery to.
+                recovered.pop(e.actor, None)
+                continue
+            got = {ev.seq: ev.path or "" for ev in recovered.get(e.actor, [])}
+            if e.actor in mds_actors:
+                _compare_recovery(
+                    e, got, persisted.get((e.actor, "global"), {}),
+                    "global", out,
+                )
+            elif e.actor == owner:
+                if durability == "none":
+                    if got:
+                        out.append(Violation(
+                            "durability-none-survivor",
+                            f"{e.actor} recovered {len(got)} updates under "
+                            "durability 'none' (nothing should survive)",
+                            t=e.t,
+                        ))
+                else:
+                    _compare_recovery(
+                        e, got,
+                        persisted.get((e.actor, durability), {}),
+                        durability, out,
+                    )
+            crashed.pop(e.actor, None)
+            recovered.pop(e.actor, None)
+
+
+def _compare_recovery(
+    marker: HistoryEvent, got: Dict[int, str], expected: Dict[int, str],
+    scope: str, out: List[Violation],
+) -> None:
+    missing = sorted(set(expected) - set(got))
+    extra = sorted(set(got) - set(expected))
+    if missing:
+        paths = ", ".join(expected[s] for s in missing[:3])
+        out.append(Violation(
+            f"durability-{scope}-lost",
+            f"{marker.actor} recovery lost {len(missing)} {scope}ly "
+            f"persisted updates (e.g. {paths})",
+            t=marker.t,
+        ))
+    if extra:
+        paths = ", ".join(got[s] for s in extra[:3])
+        out.append(Violation(
+            f"durability-{scope}-phantom",
+            f"{marker.actor} recovery produced {len(extra)} updates never "
+            f"{scope}ly persisted (e.g. {paths})",
+            t=marker.t,
+        ))
+
+
+# ---------------------------------------------------------------------------
+# model replay
+# ---------------------------------------------------------------------------
+
+
+def _check_model(
+    history: History, subtree: str, mds_actors: set, out: List[Violation]
+) -> None:
+    """Replay the visible history through the reference model and hold
+    the end-of-run snapshot to the model's namespace."""
+    model = ReferenceModel()
+    # The subtree root is usually admin-created (Cudele._ensure_path,
+    # which is invisible to the history); seed it unless the history
+    # itself records its mkdir.
+    if not any(
+        e.kind == "visible" and e.op == "mkdir" and e.path == subtree
+        for e in history
+    ):
+        model.ensure_dirs(subtree)
+    snapshot: Optional[HistoryEvent] = None
+    for e in history:
+        if e.kind == "visible":
+            ok, code = model.apply(
+                e.op, e.path, ino=e.ino or 0, target=e.target
+            )
+            if not ok:
+                out.append(Violation(
+                    "model-divergence",
+                    f"authoritative store accepted {e.op} {e.path} which "
+                    f"the reference model rejects ({code})",
+                    t=e.t, path=e.path,
+                ))
+        elif e.kind == "crash" and e.actor in mds_actors:
+            # The MDS's in-memory store died; the model mirrors it.
+            model = ReferenceModel()
+        elif e.kind == "recovered" and e.actor in mds_actors:
+            # Journal replay runs in the tool's skip-errors recovery
+            # mode; the model replays under the same rule.
+            model.apply(e.op, e.path, ino=e.ino or 0, target=e.target)
+        elif e.kind == "snapshot":
+            snapshot = e
+    if snapshot is not None:
+        want = sorted(snapshot.detail.get("entries", []))
+        have = sorted(f"{p}:{k}" for p, k in model.paths_under(subtree))
+        if want != have:
+            missing = sorted(set(have) - set(want))[:3]
+            extra = sorted(set(want) - set(have))[:3]
+            out.append(Violation(
+                "model-divergence",
+                "final namespace differs from the model replay "
+                f"(model-only: {missing}, store-only: {extra}, "
+                f"sizes {len(have)} vs {len(want)})",
+                t=snapshot.t, path=snapshot.path,
+            ))
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+
+def check_history(
+    history: History,
+    consistency: str,
+    durability: str,
+    subtree: str = "/",
+    owner: Optional[str] = None,
+) -> Dict:
+    """Check one history against a semantics cell; returns a verdict.
+
+    The verdict is a plain JSON-able dict: the scenario coordinates,
+    event count, the violation list (empty means conformant) and an
+    ``ok`` flag.
+    """
+    if consistency not in ("invisible", "weak", "strong"):
+        raise ValueError(f"unknown consistency {consistency!r}")
+    if durability not in ("none", "local", "global"):
+        raise ValueError(f"unknown durability {durability!r}")
+    owner = owner or _infer_owner(history)
+    owner_client = None
+    for e in history:
+        if e.kind == "invoke" and e.actor == owner:
+            owner_client = e.client
+            break
+    mds_actors = _mds_actors(history)
+
+    violations: List[Violation] = []
+    _check_wellformed(history, violations)
+    if owner is not None:
+        if consistency == "strong":
+            _check_strong(history, owner, violations)
+        elif consistency == "weak":
+            _check_weak(history, owner, owner_client, violations)
+        else:
+            _check_invisible(history, owner, owner_client, violations)
+        _check_durability(history, durability, owner, mds_actors, violations)
+    _check_model(history, subtree, mds_actors, violations)
+
+    return {
+        "consistency": consistency,
+        "durability": durability,
+        "subtree": subtree,
+        "owner": owner,
+        "events": len(history),
+        "ok": not violations,
+        "violations": [v.to_dict() for v in violations],
+    }
+
+
+def verdict_json(verdict: Dict) -> str:
+    """Canonical (byte-comparable) JSON form of a verdict."""
+    return json.dumps(verdict, sort_keys=True, indent=2) + "\n"

@@ -1,0 +1,180 @@
+"""Seeded conformance exploration over the full semantics matrix.
+
+One *cell run* builds a fresh cluster, attaches the history recorder,
+decouples a subtree under one Table I (consistency, durability) policy
+and drives a seeded workload through it:
+
+1. a bootstrap RPC client creates the subtree root (journaled, so MDS
+   recovery can rebuild under it);
+2. burst one of seeded creates/mkdirs/unlinks by the owner;
+3. the durability mechanism runs (Local/Global Persist for decoupled
+   rows — 'none' persists nothing);
+4. the owner crashes and recovers through :mod:`repro.faults`
+   (``lose_disk`` for global rows: local durability must not be what
+   saves them);
+5. burst two, then ``finalize()`` runs the policy's completion
+   mechanisms (merge windows for weak rows, journal flush for stream);
+6. strong+global additionally crash-recovers the MDS itself — the full
+   journal-replay drill;
+7. a namespace snapshot closes the history and
+   :func:`~repro.conformance.checkers.check_history` renders the
+   verdict.
+
+Everything is seeded and simulated-time-only, so a matrix run is
+byte-identical across repeats and across ``--jobs`` fan-out
+(:func:`repro.bench.harness.parallel_map` preserves task order).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.harness import parallel_map
+from repro.cluster import Cluster
+from repro.conformance.checkers import check_history
+from repro.conformance.recorder import HistoryRecorder
+from repro.core.mechanisms import MechanismContext, run_mechanism
+from repro.core.namespace_api import Cudele
+from repro.core.policy import SubtreePolicy
+from repro.faults import FaultInjector, FaultPlan
+from repro.mds.server import MDSConfig
+from repro.sim.rng import RngStream
+
+__all__ = [
+    "CELLS", "CONSISTENCIES", "DURABILITIES", "SUBTREE",
+    "run_cell", "run_matrix", "report_json",
+]
+
+CONSISTENCIES = ("invisible", "weak", "strong")
+DURABILITIES = ("none", "local", "global")
+#: The nine Table I cells, row-major.
+CELLS: Tuple[Tuple[str, str], ...] = tuple(
+    (c, d) for c in CONSISTENCIES for d in DURABILITIES
+)
+SUBTREE = "/job"
+#: Operations per workload burst (two bursts per cell).
+BURST_OPS = 12
+#: Small segments so MDS journal writes land mid-run, not only at flush.
+SEGMENT_EVENTS = 16
+
+
+def _run_burst(cluster, worker, rng: RngStream, tracked: List[str],
+               phase: int) -> None:
+    """One seeded burst: a phase directory, then a create/unlink mix."""
+    subdir = f"{SUBTREE}/d{phase}"
+    cluster.run(worker.mkdir(subdir))
+    for i in range(BURST_OPS):
+        if rng.uniform() < 0.75 or not tracked:
+            parent = SUBTREE if rng.uniform() < 0.5 else subdir
+            name = f"f{phase}-{i}"
+            cluster.run(worker.create_many(parent, [name]))
+            tracked.append(f"{parent}/{name}")
+        else:
+            victim = tracked.pop(rng.integers(0, len(tracked)))
+            cluster.run(worker.unlink(victim))
+
+
+def _run_persist(cluster, ns, durability: str) -> None:
+    """Make burst-one durable per the cell's scope (decoupled rows)."""
+    if ns.dclient is None or durability == "none":
+        return
+    mech = "local_persist" if durability == "local" else "global_persist"
+    ctx = MechanismContext(cluster, SUBTREE, ns.dclient)
+    cluster.run(run_mechanism(mech, ctx))
+
+
+def _crash_recover(cluster, target: str, mode: str,
+                   lose_disk: bool = False) -> None:
+    """Crash ``target`` 5 ms from now, recover it 45 ms later."""
+    t = cluster.now
+    plan = FaultPlan()
+    if lose_disk:
+        plan.crash(t + 0.005, target, lose_disk=True)
+    else:
+        plan.crash(t + 0.005, target)
+    plan.recover(t + 0.050, target, mode=mode)
+    FaultInjector(cluster, plan).start()
+    cluster.run()
+
+
+def run_cell(task: Tuple[str, str, int]) -> Dict:
+    """Run one (consistency, durability, seed) scenario; returns a dict
+    with the checker ``verdict`` and the canonical ``history`` text.
+
+    Top-level and picklable so :func:`parallel_map` can fan the matrix
+    out over processes; the output contains no wall-clock state, so
+    serial and parallel runs are byte-identical.
+    """
+    consistency, durability, seed = task
+    cluster = Cluster(
+        seed=seed, mds_config=MDSConfig(segment_events=SEGMENT_EVENTS)
+    )
+    recorder = HistoryRecorder.attach(cluster)
+    try:
+        cudele = Cudele(cluster)
+        boot = cluster.new_client()
+        cluster.run(boot.mkdir(SUBTREE))
+        policy = SubtreePolicy.from_semantics(
+            consistency, durability, allocated_inodes=2048
+        )
+        ns = cluster.run(cudele.decouple(SUBTREE, policy))
+        worker = ns.dclient if ns.dclient is not None else boot
+        owner = worker.name
+
+        rng = RngStream(seed, f"conformance/{consistency}/{durability}")
+        tracked: List[str] = []
+        _run_burst(cluster, worker, rng, tracked, 0)
+        _run_persist(cluster, ns, durability)
+        if ns.dclient is not None:
+            _crash_recover(
+                cluster, owner,
+                mode="global" if durability == "global" else "local",
+                lose_disk=(durability == "global"),
+            )
+        else:
+            _crash_recover(cluster, owner, mode="local")
+        _run_burst(cluster, worker, rng, tracked, 1)
+        cluster.run(ns.finalize())
+        if (consistency, durability) == ("strong", "global"):
+            # The journal-replay drill: the MDS's memory dies after the
+            # Stream flush; recovery must rebuild from the object store.
+            _crash_recover(cluster, cluster.mds.name, mode="local")
+        recorder.record_snapshot(cluster.mds, SUBTREE)
+
+        verdict = check_history(
+            recorder.history, consistency, durability,
+            subtree=SUBTREE, owner=owner,
+        )
+        verdict["seed"] = seed
+        return {"verdict": verdict, "history": recorder.history.canonical()}
+    finally:
+        recorder.detach()
+
+
+def run_matrix(
+    seed: int = 0,
+    jobs: Optional[int] = None,
+    cells: Sequence[Tuple[str, str]] = CELLS,
+) -> Dict:
+    """Check every requested cell under one seed; returns the report."""
+    tasks = [(c, d, seed) for (c, d) in cells]
+    results = parallel_map(run_cell, tasks, jobs=jobs)
+    return {
+        "seed": seed,
+        "subtree": SUBTREE,
+        "ok": all(r["verdict"]["ok"] for r in results),
+        "cells": [r["verdict"] for r in results],
+        "histories": {
+            f"{c}/{d}": r["history"]
+            for (c, d), r in zip(cells, results)
+        },
+    }
+
+
+def report_json(report: Dict, with_histories: bool = False) -> str:
+    """Canonical JSON artifact text for a matrix report."""
+    out = dict(report)
+    if not with_histories:
+        out.pop("histories", None)
+    return json.dumps(out, sort_keys=True, indent=2) + "\n"

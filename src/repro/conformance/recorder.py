@@ -1,0 +1,325 @@
+"""History recording: lightweight hooks over a live cluster.
+
+``HistoryRecorder.attach(cluster)`` wires itself into every component
+that can witness a consistency- or durability-relevant transition:
+
+* clients (``repro.client.client.Client``) and decoupled clients
+  (``repro.client.decoupled.DecoupledClient``) report operation
+  invocations/completions, crashes, recoveries and local persists;
+* the MDS (``repro.mds.server.MetadataServer``) reports the moment a
+  mutation becomes globally visible (its authoritative store changed),
+  merge windows (Volatile Apply) and journal-replay recoveries;
+* the object layer (``repro.rados.objects.RadosObject.on_mutate``)
+  reports bytes landing in the object store, which the recorder
+  interprets into *global* persistence events for client and MDS
+  journals.
+
+Recording is pure observation: no hook touches the DES engine, so an
+instrumented run is simulation-identical to a bare one.  Only one
+recorder may be attached per process at a time (the object-layer hook
+is a class attribute); :meth:`detach` releases it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.conformance.history import History, HistoryEvent
+from repro.journal.events import EventType, JournalEvent
+from repro.rados.objects import RadosObject
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.client.decoupled import DecoupledClient
+    from repro.cluster import Cluster
+    from repro.mds.server import MetadataServer, Request
+
+__all__ = ["HistoryRecorder"]
+
+#: Striped journal object names: "<owner>.journal.<hex stripe index>"
+#: (see :meth:`repro.rados.striper.Striper.object_name`).
+_JOURNAL_OBJECT = re.compile(r"^(?P<owner>[A-Za-z0-9_]+)\.journal\.[0-9a-f]+$")
+
+
+class HistoryRecorder:
+    """Builds a :class:`~repro.conformance.history.History` from hooks."""
+
+    def __init__(self, cluster: "Cluster"):
+        self.cluster = cluster
+        self.engine = cluster.engine
+        self.history = History()
+        self._next_op_id = 1
+        self._attached = False
+        #: Highest journal seq already recorded as persisted, per
+        #: (owner name, scope) — persists are idempotent snapshots, the
+        #: history wants each update persisted once per scope.
+        self._persist_marks: Dict[tuple, int] = {}
+        #: Real (materialized) events the MDS has journaled, per MDS
+        #: name, in log order; object-store journal writes are resolved
+        #: against it to emit global-persist records.
+        self._mds_journaled: Dict[str, List[JournalEvent]] = {}
+        self._mds_persisted: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(cls, cluster: "Cluster") -> "HistoryRecorder":
+        """Create a recorder and hook it into ``cluster``."""
+        recorder = cls(cluster)
+        if RadosObject.on_mutate is not None:
+            raise RuntimeError(
+                "another HistoryRecorder is already attached in this process"
+            )
+        cluster.recorder = recorder
+        for mds in cluster.mds_list:
+            mds.recorder = recorder
+        for client in cluster._clients:
+            client.recorder = recorder
+        for dclient in cluster._dclients:
+            dclient.recorder = recorder
+        RadosObject.on_mutate = recorder._on_object_mutate
+        recorder._attached = True
+        return recorder
+
+    def detach(self) -> None:
+        """Release every hook (idempotent)."""
+        if not self._attached:
+            return
+        self._attached = False
+        RadosObject.on_mutate = None
+        self.cluster.recorder = None
+        for mds in self.cluster.mds_list:
+            mds.recorder = None
+        for client in self.cluster._clients:
+            client.recorder = None
+        for dclient in self.cluster._dclients:
+            dclient.recorder = None
+
+    def _emit(self, **kw) -> HistoryEvent:
+        return self.history.append(HistoryEvent(t=self.engine.now, **kw))
+
+    # ------------------------------------------------------------------
+    # client-side hooks (invocations and completions)
+    # ------------------------------------------------------------------
+    def record_invoke(
+        self,
+        actor: str,
+        op: str,
+        paths: Sequence[str],
+        client_id: int,
+    ) -> List[int]:
+        """One ``invoke`` per affected path; returns their op ids."""
+        ids = []
+        for path in paths:
+            op_id = self._next_op_id
+            self._next_op_id += 1
+            self._emit(
+                kind="invoke", actor=actor, op=op, path=path,
+                op_id=op_id, client=client_id,
+            )
+            ids.append(op_id)
+        return ids
+
+    def record_complete(
+        self,
+        actor: str,
+        op_ids: Sequence[int],
+        ok: bool,
+        error: Optional[str] = None,
+        events: Optional[Sequence[JournalEvent]] = None,
+    ) -> None:
+        """Completions for earlier invokes.
+
+        ``events`` (decoupled appends) carries the journal records the
+        acknowledgement covers, aligning seq/ino per op id.
+        """
+        for i, op_id in enumerate(op_ids):
+            extra = {}
+            if events is not None and i < len(events):
+                extra = {"seq": events[i].seq, "ino": events[i].ino or None}
+            self._emit(
+                kind="complete", actor=actor, op_id=op_id,
+                ok=ok, error=error, **extra,
+            )
+
+    @staticmethod
+    def request_paths(request: "Request") -> List[str]:
+        """The full paths one MDS request touches."""
+        if request.names is not None:
+            base = request.path.rstrip("/")
+            return [f"{base}/{name}" for name in request.names]
+        return [request.path]
+
+    # ------------------------------------------------------------------
+    # MDS-side hooks (visibility, merges, recovery)
+    # ------------------------------------------------------------------
+    def record_visible(
+        self,
+        actor: str,
+        op: str,
+        path: str,
+        ino: int = 0,
+        client_id: int = 0,
+        target: Optional[str] = None,
+    ) -> None:
+        self._emit(
+            kind="visible", actor=actor, op=op, path=path,
+            ino=ino or None, client=client_id, target=target,
+        )
+
+    def record_merge_begin(self, actor: str, subtree: str, client_id: int,
+                           count: int) -> None:
+        self._emit(
+            kind="merge_begin", actor=actor, path=subtree, client=client_id,
+            detail={"count": count},
+        )
+
+    def record_merge_end(self, actor: str, subtree: str, client_id: int,
+                         applied: int, conflicts: int) -> None:
+        self._emit(
+            kind="merge_end", actor=actor, path=subtree, client=client_id,
+            detail={"applied": applied, "conflicts": conflicts},
+        )
+
+    def note_mds_journaled(
+        self, mds: "MetadataServer", events: Sequence[JournalEvent]
+    ) -> None:
+        """The MDS appended real events to its (segmented) journal; they
+        become *globally persisted* when their segment's object write
+        lands (seen via the object-layer hook)."""
+        self._mds_journaled.setdefault(mds.name, []).extend(events)
+
+    def record_mds_recover(
+        self, mds: "MetadataServer", events: Sequence[JournalEvent]
+    ) -> None:
+        # Replayed events are numbered by journal position (matching the
+        # global-persist records, which index the same log) — MDS-side
+        # JournalEvents carry no client-journal seq of their own.
+        idx = 0
+        for ev in events:
+            if not ev.is_mutation:
+                continue
+            idx += 1
+            self._emit(
+                kind="recovered", actor=mds.name,
+                op=EventType(ev.op).name.lower(), path=ev.path,
+                ino=ev.ino or None, seq=idx, client=ev.client_id,
+                target=ev.target_path,
+            )
+        self._emit(
+            kind="recover", actor=mds.name,
+            detail={"mode": "journal-replay", "restored": len(events)},
+        )
+
+    # ------------------------------------------------------------------
+    # crash / recovery markers (repro.faults drives these paths)
+    # ------------------------------------------------------------------
+    def record_crash(self, actor: str, **detail) -> None:
+        self._emit(kind="crash", actor=actor,
+                   detail={k: v for k, v in sorted(detail.items())})
+
+    def record_client_recover(
+        self, dclient: "DecoupledClient", mode: str
+    ) -> None:
+        """A decoupled client finished recovery: its journal now holds
+        exactly what the recovery source gave back."""
+        for ev in dclient.journal.events:
+            self._emit(
+                kind="recovered", actor=dclient.name,
+                op=EventType(ev.op).name.lower(), path=ev.path,
+                ino=ev.ino or None, seq=ev.seq, client=dclient.client_id,
+                target=ev.target_path,
+            )
+        self._emit(
+            kind="recover", actor=dclient.name,
+            detail={"mode": mode, "restored": len(dclient.journal)},
+        )
+
+    def record_recover(self, actor: str, **detail) -> None:
+        self._emit(kind="recover", actor=actor,
+                   detail={k: v for k, v in sorted(detail.items())})
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def record_local_persist(self, dclient: "DecoupledClient") -> None:
+        """Local Persist landed: journal events up to the current tail
+        are now safe on the client's own disk."""
+        self._record_journal_persist(dclient, scope="local")
+
+    def _record_journal_persist(self, dclient, scope: str) -> None:
+        mark = self._persist_marks.get((dclient.name, scope), 0)
+        for ev in dclient.journal.events:
+            if ev.seq <= mark:
+                continue
+            self._emit(
+                kind="persisted", actor=dclient.name, scope=scope,
+                op=EventType(ev.op).name.lower(), path=ev.path,
+                ino=ev.ino or None, seq=ev.seq, client=dclient.client_id,
+            )
+            mark = ev.seq
+        self._persist_marks[(dclient.name, scope)] = mark
+
+    # -- object layer ------------------------------------------------------
+    def _on_object_mutate(self, obj: RadosObject, action: str, nbytes: int) -> None:
+        """Bytes landed in (an OSD's copy of) an object.
+
+        Journal objects are interpreted into per-update global-persist
+        records; everything else is ignored (data-pool traffic carries
+        no metadata semantics).  Replica writes re-fire the hook; the
+        per-owner watermark keeps records unique.
+        """
+        match = _JOURNAL_OBJECT.match(obj.name)
+        if match is None:
+            return
+        owner = match.group("owner")
+        for dclient in self.cluster._dclients:
+            if dclient.name == owner:
+                self._record_journal_persist(dclient, scope="global")
+                return
+        for mds in self.cluster.mds_list:
+            if mds.name == owner:
+                self._record_mds_global_persist(mds)
+                return
+
+    def _record_mds_global_persist(self, mds: "MetadataServer") -> None:
+        """A segment of the MDS journal landed in the object store: the
+        journaled prefix minus the still-open segment is now durable."""
+        journaled = self._mds_journaled.get(mds.name, [])
+        durable = len(journaled) - mds.journal.open_real_events
+        done = self._mds_persisted.get(mds.name, 0)
+        for idx in range(done, durable):
+            ev = journaled[idx]
+            self._emit(
+                kind="persisted", actor=mds.name, scope="global",
+                op=EventType(ev.op).name.lower(), path=ev.path,
+                ino=ev.ino or None, seq=idx + 1, client=ev.client_id,
+            )
+        if durable > done:
+            self._mds_persisted[mds.name] = durable
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    def record_snapshot(self, mds: "MetadataServer", subtree: str) -> None:
+        """Record the authoritative namespace under ``subtree`` (sorted
+        ``path:kind`` entries) as one snapshot event."""
+        entries = []
+        if mds.config.materialize:
+            prefix = "/" + "/".join(p for p in subtree.split("/") if p)
+            prefix = prefix.rstrip("/") + "/"
+            for ino, frag in mds.mdstore.dirfrags.items():
+                base = mds.mdstore.path_of(ino)
+                if base is None:
+                    continue
+                for name, child in frag.entries.items():
+                    path = base.rstrip("/") + "/" + name
+                    if not path.startswith(prefix):
+                        continue
+                    kind = "dir" if mds.mdstore.inodes[child].is_dir else "file"
+                    entries.append(f"{path}:{kind}")
+        self._emit(
+            kind="snapshot", actor=mds.name, path=subtree,
+            detail={"entries": sorted(entries)},
+        )

@@ -178,6 +178,14 @@ class MDSJournal:
         self.events_logged -= lost
         return lost
 
+    @property
+    def open_real_events(self) -> int:
+        """Real (materialized) events still buffered in the open segment
+        — journaled but not yet handed to the object store.  Counted-only
+        events are excluded; the conformance recorder uses this to tell
+        which journaled updates a landed segment write made durable."""
+        return self._journaler.open_events
+
     # -- recovery / inspection ----------------------------------------------
     def read_all(self, dst: str = "mds") -> Generator[Event, None, list]:
         events = yield self.engine.process(self._journaler.read_all(dst=dst))

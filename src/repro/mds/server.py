@@ -144,6 +144,9 @@ class MetadataServer:
         #: buffering capability); recalls consult it (paper §II-B).
         self._open_writers: Dict[str, tuple] = {}
         self._cpu_util = self.stats.utilization("cpu", capacity=1.0)
+        #: Conformance history recorder (see ``repro.conformance``);
+        #: None keeps the request loop unobserved.
+        self.recorder = None
         self._loop = engine.process(self._serve_loop(), name=f"{name}.loop")
         self.running = True
         self.up = True
@@ -272,6 +275,11 @@ class MetadataServer:
         self._synthetic_sizes.clear()
         self._cpu_util.set_level(0.0)
         self.stats.counter("requests_failed").incr(failed)
+        if self.recorder is not None:
+            self.recorder.record_crash(
+                self.name, journal_events_lost=lost_open,
+                requests_failed=failed,
+            )
         return {"journal_events_lost": lost_open, "requests_failed": failed}
 
     def recover(self) -> Generator[Event, None, int]:
@@ -304,6 +312,8 @@ class MetadataServer:
         )
         self.running = True
         self.stats.counter("recoveries").incr()
+        if self.recorder is not None:
+            self.recorder.record_mds_recover(self, events)
         return len(events)
 
     def _maybe_auto_checkpoint(self) -> None:
@@ -347,6 +357,8 @@ class MetadataServer:
         yield from self._cpu(len(events) * cal.VOLATILE_APPLY_S)
         if self.config.materialize:
             JournalTool.apply(events, self.mdstore, skip_errors=True)
+        if self.recorder is not None:
+            self.recorder.record_mds_recover(self, events)
         self.up = True
         if not self.running:
             self._loop = self.engine.process(
@@ -461,6 +473,7 @@ class MetadataServer:
         yield from self._cpu(cpu)
 
         created, errors = [], []
+        rec = self.recorder
         events: Optional[List[JournalEvent]] = None
         if self.config.materialize and request.names is not None:
             events = []
@@ -487,6 +500,12 @@ class MetadataServer:
                             client_id=request.client_id,
                         )
                     )
+                    if rec is not None:
+                        rec.record_visible(
+                            self.name, op.name.lower(), path,
+                            ino=inode.ino if inode else 0,
+                            client_id=request.client_id,
+                        )
                 except FsError as exc:
                     errors.append(f"{name}: {exc}")
         else:
@@ -495,6 +514,8 @@ class MetadataServer:
             )
 
         if events is not None:
+            if rec is not None and self.journal.enabled:
+                rec.note_mds_journaled(self, events)
             yield from self.journal.log_events(events=events)
         else:
             yield from self.journal.log_events(count=request.count)
@@ -522,18 +543,24 @@ class MetadataServer:
             self.mdstore.setattr(request.path, **attrs)
         except FsError as exc:
             return Response(ok=False, error=str(exc)), 0.0
-        yield from self.journal.log_events(
-            events=[
-                JournalEvent(
-                    EventType.SETATTR,
-                    request.path,
-                    mtime=self.engine.now,
-                    client_id=request.client_id,
-                    **{k: v for k, v in (request.payload or {}).items()
-                       if k in ("mode", "uid", "gid")},
-                )
-            ]
-        )
+        events = [
+            JournalEvent(
+                EventType.SETATTR,
+                request.path,
+                mtime=self.engine.now,
+                client_id=request.client_id,
+                **{k: v for k, v in (request.payload or {}).items()
+                   if k in ("mode", "uid", "gid")},
+            )
+        ]
+        if self.recorder is not None:
+            self.recorder.record_visible(
+                self.name, "setattr", request.path,
+                client_id=request.client_id,
+            )
+            if self.journal.enabled:
+                self.recorder.note_mds_journaled(self, events)
+        yield from self.journal.log_events(events=events)
         return Response(ok=True), self.journal.commit_latency_s()
 
     def _op_rename(self, request: Request):
@@ -544,17 +571,23 @@ class MetadataServer:
             self.mdstore.rename(request.path, request.payload)
         except FsError as exc:
             return Response(ok=False, error=str(exc)), 0.0
-        yield from self.journal.log_events(
-            events=[
-                JournalEvent(
-                    EventType.RENAME,
-                    request.path,
-                    target_path=request.payload,
-                    mtime=self.engine.now,
-                    client_id=request.client_id,
-                )
-            ]
-        )
+        events = [
+            JournalEvent(
+                EventType.RENAME,
+                request.path,
+                target_path=request.payload,
+                mtime=self.engine.now,
+                client_id=request.client_id,
+            )
+        ]
+        if self.recorder is not None:
+            self.recorder.record_visible(
+                self.name, "rename", request.path,
+                client_id=request.client_id, target=request.payload,
+            )
+            if self.journal.enabled:
+                self.recorder.note_mds_journaled(self, events)
+        yield from self.journal.log_events(events=events)
         return Response(ok=True), self.journal.commit_latency_s()
 
     # -- write-buffering capabilities (open files) -------------------------
@@ -594,14 +627,15 @@ class MetadataServer:
                 self.mdstore.setattr(request.path, size=size)
             except FsError as exc:
                 return Response(ok=False, error=str(exc)), 0.0
-            yield from self.journal.log_events(
-                events=[
-                    JournalEvent(
-                        EventType.SETATTR, request.path,
-                        mtime=self.engine.now, client_id=request.client_id,
-                    )
-                ]
-            )
+            events = [
+                JournalEvent(
+                    EventType.SETATTR, request.path,
+                    mtime=self.engine.now, client_id=request.client_id,
+                )
+            ]
+            if self.recorder is not None and self.journal.enabled:
+                self.recorder.note_mds_journaled(self, events)
+            yield from self.journal.log_events(events=events)
         return Response(ok=True, value=size), self.journal.commit_latency_s()
 
     def _recall_writer(self, path: str):
@@ -695,6 +729,11 @@ class MetadataServer:
             events = list(payload)
             n = len(events)
         yield from self._cpu(n * cal.VOLATILE_APPLY_S)
+        rec = self.recorder
+        if rec is not None:
+            rec.record_merge_begin(
+                self.name, request.path, request.client_id, count=n
+            )
         applied = n
         conflicts = 0
         if events is None or not self.config.materialize:
@@ -717,9 +756,20 @@ class MetadataServer:
                         owner = self.mdstore.inotable.owner_of(ev.ino)
                         if owner is not None and not self.mdstore.inotable.is_consumed(ev.ino):
                             self.mdstore.inotable.mark_consumed(ev.ino)
+                    if rec is not None:
+                        rec.record_visible(
+                            self.name, EventType(ev.op).name.lower(), ev.path,
+                            ino=ev.ino, client_id=ev.client_id,
+                            target=ev.target_path,
+                        )
                 except FsError:
                     conflicts += 1
         self.stats.counter("merged_events").incr(n)
+        if rec is not None:
+            rec.record_merge_end(
+                self.name, request.path, request.client_id,
+                applied=applied, conflicts=conflicts,
+            )
         return Response(ok=True, value={"applied": applied, "conflicts": conflicts}), 0.0
 
     # ------------------------------------------------------------------

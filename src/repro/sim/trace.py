@@ -71,9 +71,22 @@ class Tracer:
     def by_kind(self) -> Counter:
         return Counter(r.kind for r in self.records)
 
+    @property
+    def truncated(self) -> bool:
+        """True when the record cap was hit and events were dropped —
+        the trace is a prefix, not the whole run.  Diagnoses based on a
+        silently truncated trace (e.g. "process X never ran") are
+        unsound; check this before trusting absence of evidence."""
+        return self.dropped > 0
+
     def summary(self) -> str:
         lines = [f"{len(self.records)} events traced "
                  f"({self.dropped} dropped)"]
+        if self.truncated:
+            lines[0] += (
+                " — TRUNCATED at max_records="
+                f"{self.max_records}; counts cover only the prefix"
+            )
         for kind, count in self.by_kind().most_common():
             lines.append(f"  {kind:<14} {count}")
         return "\n".join(lines)

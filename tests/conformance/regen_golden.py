@@ -1,0 +1,45 @@
+"""Regenerate the golden history/verdict fixtures under ``golden/``.
+
+Run after an *intentional* change to recorded-history content::
+
+    PYTHONPATH=src python tests/conformance/regen_golden.py
+
+Refuses to write a fixture whose fresh run does not conform — a golden
+that bakes in a violation would silently lower the bar.
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from test_golden import GOLDEN, GOLDEN_DIR, SUBTREE  # noqa: E402
+
+from repro.conformance import History, check_history, verdict_json  # noqa: E402
+from repro.conformance.driver import run_cell  # noqa: E402
+
+
+def main() -> int:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for name, (consistency, durability, seed, owner) in GOLDEN.items():
+        out = run_cell((consistency, durability, seed))
+        hist_path = GOLDEN_DIR / f"{name}.history.jsonl"
+        hist_path.write_text(out["history"], encoding="utf-8")
+        verdict = check_history(
+            History.load(hist_path), consistency, durability,
+            subtree=SUBTREE, owner=owner,
+        )
+        if not verdict["ok"]:
+            print(f"REFUSING {name}: fresh run violates its own contract:")
+            for v in verdict["violations"]:
+                print(f"  {v['code']}: {v['message']}")
+            return 1
+        (GOLDEN_DIR / f"{name}.verdict.json").write_text(
+            verdict_json(verdict), encoding="utf-8"
+        )
+        print(f"{name}: {verdict['events']} events, conformant")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Golden histories: checked-in runs with byte-for-byte verdicts.
+
+Three representative scenarios are frozen under ``golden/``:
+
+``strong_rpc``
+    strong/none — synchronous RPCs, owner crash/recover, every
+    acknowledgement already visible.
+``weak_decoupled``
+    weak/none — a decoupled client whose journal merges at finalize
+    (Volatile Apply windows).
+``crash_local_persist``
+    invisible/local — Local Persist followed by a crash that recovery
+    must restore exactly (and whose updates never become visible).
+
+Each test loads the checked-in history, re-runs the oracle and compares
+the rendered verdict byte-for-byte against the checked-in artifact; a
+second pass re-runs the live scenario and holds the freshly recorded
+history to the checked-in bytes (the simulator's determinism contract).
+
+To regenerate after an intentional behavioral change::
+
+    PYTHONPATH=src python tests/conformance/regen_golden.py
+"""
+
+import pathlib
+
+import pytest
+
+from repro.conformance import History, check_history, verdict_json
+from repro.conformance.driver import SUBTREE, run_cell
+
+pytestmark = pytest.mark.conformance
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+#: fixture name -> (consistency, durability, seed, owner)
+GOLDEN = {
+    "strong_rpc": ("strong", "none", 0, "client1"),
+    "weak_decoupled": ("weak", "none", 0, "dclient1001"),
+    "crash_local_persist": ("invisible", "local", 0, "dclient1001"),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_golden_verdict_byte_for_byte(name):
+    consistency, durability, _, owner = GOLDEN[name]
+    history = History.load(GOLDEN_DIR / f"{name}.history.jsonl")
+    verdict = check_history(
+        history, consistency, durability, subtree=SUBTREE, owner=owner
+    )
+    assert verdict["ok"], verdict["violations"]
+    want = (GOLDEN_DIR / f"{name}.verdict.json").read_text(encoding="utf-8")
+    assert verdict_json(verdict) == want
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_golden_history_regenerates_byte_for_byte(name):
+    consistency, durability, seed, _ = GOLDEN[name]
+    out = run_cell((consistency, durability, seed))
+    want = (GOLDEN_DIR / f"{name}.history.jsonl").read_text(encoding="utf-8")
+    assert out["history"] == want
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_golden_round_trips_through_serialization(name):
+    text = (GOLDEN_DIR / f"{name}.history.jsonl").read_text(encoding="utf-8")
+    assert History.from_canonical(text).canonical() == text

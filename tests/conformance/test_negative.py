@@ -1,0 +1,134 @@
+"""Negative paths: injected violations are caught with distinct codes.
+
+Each test takes a conformant golden history, corrupts it in exactly one
+way, and asserts the oracle rejects it with the *specific* stable code
+for that failure mode — a checker that merely said "not ok" could not
+tell an unseen completion from a torn persist prefix.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.conformance import (
+    VIOLATION_CODES,
+    History,
+    HistoryEvent,
+    check_history,
+)
+from repro.conformance.driver import SUBTREE
+
+pytestmark = pytest.mark.conformance
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+def _load_dicts(name):
+    history = History.load(GOLDEN_DIR / f"{name}.history.jsonl")
+    return [e.to_dict() for e in history.events]
+
+
+def _check(dicts, consistency, durability, owner):
+    history = History(HistoryEvent.from_dict(d) for d in dicts)
+    verdict = check_history(
+        history, consistency, durability, subtree=SUBTREE, owner=owner
+    )
+    return verdict, {v["code"] for v in verdict["violations"]}
+
+
+def test_dropped_visibility_is_strong_unseen_completion():
+    dicts = _load_dicts("strong_rpc")
+    victims = [
+        d for d in dicts
+        if d["kind"] == "visible" and d.get("op") == "create"
+    ]
+    assert victims, "golden lost its visible creates?"
+    target = victims[-1]
+    dicts = [
+        d for d in dicts
+        if not (d["kind"] == "visible" and d.get("path") == target["path"])
+    ]
+    verdict, codes = _check(dicts, "strong", "none", "client1")
+    assert not verdict["ok"]
+    assert "strong-unseen-completion" in codes
+
+
+def test_reordered_persist_prefix_is_rejected():
+    dicts = _load_dicts("strong_rpc")
+    idx = [
+        i for i, d in enumerate(dicts)
+        if d["kind"] == "persisted" and d.get("scope") == "global"
+    ]
+    assert len(idx) >= 2, "golden has too few global persists to reorder"
+    a, b = idx[0], idx[1]
+    dicts[a]["seq"], dicts[b]["seq"] = dicts[b]["seq"], dicts[a]["seq"]
+    verdict, codes = _check(dicts, "strong", "none", "client1")
+    assert not verdict["ok"]
+    assert "persist-prefix-reorder" in codes
+
+
+def test_duplicate_inode_allocation_is_rejected():
+    dicts = _load_dicts("strong_rpc")
+    creates = [
+        d for d in dicts
+        if d["kind"] == "visible" and d.get("op") == "create"
+        and d.get("ino")
+    ]
+    assert len(creates) >= 2, "golden has too few inode-carrying creates"
+    creates[1]["ino"] = creates[0]["ino"]
+    verdict, codes = _check(dicts, "strong", "none", "client1")
+    assert not verdict["ok"]
+    assert "dup-ino-allocation" in codes
+
+
+def test_injections_carry_three_distinct_codes():
+    # The three canonical injections must be distinguishable from each
+    # other by code alone (the point of the stable-code contract).
+    targets = {
+        "strong-unseen-completion",
+        "persist-prefix-reorder",
+        "dup-ino-allocation",
+    }
+    assert len(targets) == 3
+    assert targets <= set(VIOLATION_CODES)
+
+
+def test_early_visibility_is_weak_violation():
+    # Forge a visible event for the owner's op outside any merge window.
+    dicts = _load_dicts("weak_decoupled")
+    first_merge = next(
+        i for i, d in enumerate(dicts) if d["kind"] == "merge_begin"
+    )
+    owner_client = next(
+        d["client"] for d in dicts
+        if d["kind"] == "invoke" and d["actor"] == "dclient1001"
+    )
+    forged = {
+        "t": dicts[first_merge]["t"],
+        "kind": "visible",
+        "actor": "mds0",
+        "op": "create",
+        "path": f"{SUBTREE}/forged",
+        "client": owner_client,
+    }
+    dicts.insert(first_merge, forged)
+    verdict, codes = _check(dicts, "weak", "none", "dclient1001")
+    assert not verdict["ok"]
+    assert "weak-early-visibility" in codes
+
+
+def test_lost_recovery_is_durability_local_lost():
+    # Drop the recovered events after the crash: the locally persisted
+    # prefix no longer comes back.
+    dicts = _load_dicts("crash_local_persist")
+    assert any(
+        d["kind"] == "persisted" and d.get("scope") == "local"
+        for d in dicts
+    )
+    dicts = [
+        d for d in dicts
+        if not (d["kind"] == "recovered" and d["actor"] == "dclient1001")
+    ]
+    verdict, codes = _check(dicts, "invisible", "local", "dclient1001")
+    assert not verdict["ok"]
+    assert "durability-local-lost" in codes

@@ -1,0 +1,196 @@
+"""Model-based conformance testing across all nine Table I cells.
+
+Hypothesis drives random op/persist/crash interleavings against a live
+cluster while a :class:`ReferenceModel` tracks what the authoritative
+namespace *should* converge to under the cell's semantics:
+
+* strong rows apply each acknowledged RPC to the model in lock-step
+  (and the cluster's accept/reject decision must match the model's);
+* weak rows leave the model untouched until teardown, then merge the
+  owner's surviving journal through the same conflict-resolution rules
+  Volatile Apply uses;
+* invisible rows never update the model at all — nothing of the
+  owner's may surface.
+
+Teardown finalizes the namespace, snapshots it, runs the full
+:func:`check_history` oracle over the recorded history, and holds the
+snapshot byte-equal to the model's view.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+    run_state_machine_as_test,
+)
+
+from repro.cluster import Cluster
+from repro.conformance import HistoryRecorder, ReferenceModel, check_history
+from repro.conformance.driver import CELLS, SUBTREE
+from repro.core.mechanisms import MechanismContext, run_mechanism
+from repro.core.namespace_api import Cudele
+from repro.core.policy import SubtreePolicy
+from repro.faults import FaultInjector, FaultPlan
+from repro.mds.server import MDSConfig
+
+pytestmark = pytest.mark.conformance
+
+STATEFUL_SETTINGS = settings(
+    max_examples=10, stateful_step_count=20, deadline=None
+)
+
+
+class ConformanceMachine(RuleBasedStateMachine):
+    """One semantics cell driven against model + cluster in lock-step."""
+
+    cell = ("strong", "none")  # overridden per parametrized subclass
+
+    def __init__(self):
+        super().__init__()
+        self.consistency, self.durability = self.cell
+        self.cluster = Cluster(
+            seed=0, mds_config=MDSConfig(segment_events=8)
+        )
+        self.recorder = HistoryRecorder.attach(self.cluster)
+        self.boot = self.cluster.new_client()
+        self.cluster.run(self.boot.mkdir(SUBTREE))
+        policy = SubtreePolicy.from_semantics(
+            self.consistency, self.durability, allocated_inodes=2048
+        )
+        self.ns = self.cluster.run(Cudele(self.cluster).decouple(
+            SUBTREE, policy
+        ))
+        self.worker = (
+            self.ns.dclient if self.ns.dclient is not None else self.boot
+        )
+        self.owner = self.worker.name
+        self.rpc = self.ns.dclient is None
+        self.model = ReferenceModel()
+        self.model.ensure_dirs(SUBTREE)
+        self.dirs = [SUBTREE]
+        self.files = []
+        self.counter = 0
+
+    # -- helpers ----------------------------------------------------------
+    def _apply_rpc(self, op, path, resp, target=None):
+        """Lock-step for strong rows: the cluster's accept/reject
+        decision must match the sequential spec's."""
+        ok, code = self.model.apply(op, path, target=target)
+        assert resp.ok == ok, (
+            f"{op} {path}: cluster said ok={resp.ok} "
+            f"({resp.error}), model said ok={ok} ({code})"
+        )
+
+    # -- namespace operations ---------------------------------------------
+    @rule(i=st.integers(0, 63))
+    def mkdir_subdir(self, i):
+        parent = self.dirs[i % len(self.dirs)]
+        path = f"{parent}/d{self.counter}"
+        self.counter += 1
+        resp = self.cluster.run(self.worker.mkdir(path))
+        if self.rpc:
+            self._apply_rpc("mkdir", path, resp)
+        self.dirs.append(path)
+
+    @rule(i=st.integers(0, 63), n=st.integers(1, 3))
+    def create_files(self, i, n):
+        parent = self.dirs[i % len(self.dirs)]
+        names = [f"f{self.counter + j}" for j in range(n)]
+        self.counter += n
+        resp = self.cluster.run(self.worker.create_many(parent, names))
+        if self.rpc:
+            assert resp.ok
+            for name in names:
+                ok, code = self.model.apply("create", f"{parent}/{name}")
+                assert ok, code
+        self.files += [f"{parent}/{name}" for name in names]
+
+    @precondition(lambda self: self.files)
+    @rule(i=st.integers(0, 63))
+    def unlink_file(self, i):
+        path = self.files.pop(i % len(self.files))
+        resp = self.cluster.run(self.worker.unlink(path))
+        if self.rpc:
+            self._apply_rpc("unlink", path, resp)
+
+    @rule()
+    def unlink_missing(self):
+        path = f"{SUBTREE}/never-existed-{self.counter}"
+        self.counter += 1
+        resp = self.cluster.run(self.worker.unlink(path))
+        if self.rpc:
+            self._apply_rpc("unlink", path, resp)
+
+    # -- durability mechanisms and faults ----------------------------------
+    @precondition(
+        lambda self: not self.rpc and self.durability != "none"
+    )
+    @rule()
+    def persist(self):
+        mech = (
+            "local_persist" if self.durability == "local"
+            else "global_persist"
+        )
+        ctx = MechanismContext(self.cluster, SUBTREE, self.ns.dclient)
+        self.cluster.run(run_mechanism(mech, ctx))
+
+    @rule()
+    def crash_recover_owner(self):
+        t = self.cluster.now
+        plan = FaultPlan()
+        if not self.rpc and self.durability == "global":
+            plan.crash(t + 0.005, self.owner, lose_disk=True)
+            plan.recover(t + 0.050, self.owner, mode="global")
+        else:
+            plan.crash(t + 0.005, self.owner)
+            plan.recover(t + 0.050, self.owner, mode="local")
+        FaultInjector(self.cluster, plan).start()
+        self.cluster.run()
+
+    # -- invariants --------------------------------------------------------
+    @invariant()
+    def engine_is_quiescent(self):
+        before = self.cluster.now
+        self.cluster.run()
+        assert self.cluster.now == before
+
+    # -- the oracle ---------------------------------------------------------
+    def teardown(self):
+        try:
+            surviving = (
+                list(self.worker.journal.events) if not self.rpc else []
+            )
+            self.cluster.run(self.ns.finalize())
+            self.recorder.record_snapshot(self.cluster.mds, SUBTREE)
+            verdict = check_history(
+                self.recorder.history, self.consistency, self.durability,
+                subtree=SUBTREE, owner=self.owner,
+            )
+            assert verdict["ok"], verdict["violations"]
+            if self.consistency == "weak" and surviving:
+                self.model.merge(surviving)
+            snapshot = self.recorder.history.of_kind("snapshot")[-1]
+            want = sorted(snapshot.detail.get("entries", []))
+            have = sorted(
+                f"{p}:{k}" for p, k in self.model.paths_under(SUBTREE)
+            )
+            assert want == have, (
+                f"namespace/model divergence in {self.cell}: "
+                f"store={want} model={have}"
+            )
+        finally:
+            self.recorder.detach()
+
+
+@pytest.mark.parametrize("consistency,durability", CELLS)
+def test_stateful_cell(consistency, durability):
+    machine = type(
+        f"Conformance_{consistency}_{durability}",
+        (ConformanceMachine,),
+        {"cell": (consistency, durability)},
+    )
+    run_state_machine_as_test(machine, settings=STATEFUL_SETTINGS)

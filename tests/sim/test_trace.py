@@ -54,6 +54,32 @@ def test_tracer_bounded():
     assert tracer.dropped > 0
 
 
+def test_tracer_truncated_flag():
+    engine = Engine()
+    tracer = Tracer.attach(engine, max_records=3)
+    assert tracer.truncated is False
+
+    def body():
+        for _ in range(10):
+            yield Timeout(engine, 1)
+
+    engine.process(body())
+    engine.run()
+    assert tracer.truncated is True
+    assert len(tracer) == 3
+    text = tracer.summary()
+    assert "TRUNCATED" in text
+    assert "max_records=3" in text
+
+
+def test_tracer_untruncated_summary_is_clean():
+    engine = Engine()
+    tracer = Tracer.attach(engine)
+    run_workload(engine)
+    assert tracer.truncated is False
+    assert "TRUNCATED" not in tracer.summary()
+
+
 def test_tracer_detach():
     engine = Engine()
     tracer = Tracer.attach(engine)
