@@ -10,6 +10,12 @@ byte-identical).
 ``--jobs N`` fans seeded runs out over a process pool (see
 ``repro.bench.harness.parallel_map``); output is identical to serial.
 
+``--obs`` additionally runs the instrumented observability probe
+(``repro.obs.probe``) and writes ``OBS_report.json`` /
+``OBS_breakdown.csv`` next to the experiment artifacts.  The
+experiments themselves always run uninstrumented, so every ``BENCH_*``
+artifact is byte-identical with and without the flag (test-enforced).
+
 Subcommands:
 
 * ``compare BASE.json CAND.json [tolerance]`` — regression-diff two
@@ -59,6 +65,9 @@ def main(argv=None) -> int:
             print("--jobs requires an integer argument", file=sys.stderr)
             return 2
         del argv[idx : idx + 2]
+    with_obs = "--obs" in argv
+    if with_obs:
+        argv.remove("--obs")
     names = argv or list(ALL_EXPERIMENTS)
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
     if unknown:
@@ -93,7 +102,27 @@ def main(argv=None) -> int:
             indent=2,
         ))
         print(f"[wrote {record}]")
+    if with_obs:
+        _run_obs_probe(json_dir, scale)
     return 0
+
+
+def _run_obs_probe(json_dir, scale) -> None:
+    """The ``--obs`` leg: an instrumented probe beside the experiments.
+
+    Kept out of the experiments so BENCH_* artifacts stay byte-identical
+    whether or not observability was requested.
+    """
+    from repro.obs.__main__ import write_report_artifacts
+    from repro.obs.probe import probe_report
+    from repro.obs.report import format_breakdown
+
+    report = probe_report(meta={"source": "bench-probe", "scale": scale.name})
+    print("observability probe — per-mechanism latency breakdown:")
+    print(format_breakdown(report["breakdown"]))
+    if json_dir is not None:
+        for path in write_report_artifacts(report, str(json_dir)):
+            print(f"[wrote {path}]")
 
 
 def _compare(args) -> int:

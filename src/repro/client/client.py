@@ -101,6 +101,8 @@ class Client:
         #: Conformance history recorder (see ``repro.conformance``);
         #: None keeps the hot path unobserved.
         self.recorder = None
+        #: Observability (see ``repro.obs``); same None-guarded pattern.
+        self.obs = None
         #: Optional per-path MDS routing (multi-MDS subtree partitioning);
         #: ``router(path) -> MetadataServer``.  None pins to ``mds``.
         self.router = router
@@ -179,49 +181,67 @@ class Client:
             raise OSError(f"{self.name} is crashed")
         mds = self._target(request.path)
         rec = self.recorder
-        op_ids = None
-        if rec is not None:
-            op_ids = rec.record_invoke(
-                self.name, request.op, rec.request_paths(request),
-                self.client_id,
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.tracer.start(
+                "client.rpc", daemon=self.name, mechanism="rpc",
+                op=request.op,
             )
-        yield self.engine.sleep(op_count * cal.CLIENT_OP_OVERHEAD_S)
-        attempt = 0
-        backoff = self.retry.base_backoff_s
-        while True:
-            try:
-                response = yield from self._exchange(mds, request)
-                break
-            except TRANSIENT_ERRORS as exc:
-                self.stats.counter("rpc_failures").incr()
-                if attempt >= self.retry.max_retries:
-                    self.stats.counter("rpc_giveups").incr()
-                    response = Response(
-                        ok=False, error=f"ETIMEDOUT: {exc}", rpcs=1
-                    )
-                    if rec is not None:
-                        rec.record_complete(
-                            self.name, op_ids, False, error=response.error
-                        )
-                    return response
-                attempt += 1
-                self.stats.counter("rpc_retries").incr()
-                yield self.engine.sleep(backoff)
-                backoff = min(
-                    backoff * self.retry.multiplier, self.retry.max_backoff_s
+        try:
+            op_ids = None
+            if rec is not None:
+                op_ids = rec.record_invoke(
+                    self.name, request.op, rec.request_paths(request),
+                    self.client_id,
                 )
-        self.stats.counter("rpcs_sent").incr(op_count * max(1, response.rpcs))
-        if response.rpcs > 1:
-            # The MDS made us look up remotely before each create; pay the
-            # client-side cost of those extra round trips.
-            extra = op_count * (response.rpcs - 1)
-            yield self.engine.sleep(extra * cal.CLIENT_OP_OVERHEAD_S)
-            self.cache.note_lookup(local=False)
-        else:
-            self.cache.note_lookup(local=True)
-        if rec is not None:
-            rec.record_complete(self.name, op_ids, response.ok, error=response.error)
-        return response
+            yield self.engine.sleep(op_count * cal.CLIENT_OP_OVERHEAD_S)
+            attempt = 0
+            backoff = self.retry.base_backoff_s
+            while True:
+                try:
+                    response = yield from self._exchange(mds, request)
+                    break
+                except TRANSIENT_ERRORS as exc:
+                    self.stats.counter("rpc_failures").incr()
+                    if attempt >= self.retry.max_retries:
+                        self.stats.counter("rpc_giveups").incr()
+                        response = Response(
+                            ok=False, error=f"ETIMEDOUT: {exc}", rpcs=1
+                        )
+                        if rec is not None:
+                            rec.record_complete(
+                                self.name, op_ids, False, error=response.error
+                            )
+                        return response
+                    attempt += 1
+                    self.stats.counter("rpc_retries").incr()
+                    yield self.engine.sleep(backoff)
+                    backoff = min(
+                        backoff * self.retry.multiplier, self.retry.max_backoff_s
+                    )
+            self.stats.counter("rpcs_sent").incr(op_count * max(1, response.rpcs))
+            if response.rpcs > 1:
+                # The MDS made us look up remotely before each create; pay the
+                # client-side cost of those extra round trips.
+                extra = op_count * (response.rpcs - 1)
+                yield self.engine.sleep(extra * cal.CLIENT_OP_OVERHEAD_S)
+                self.cache.note_lookup(local=False)
+            else:
+                self.cache.note_lookup(local=True)
+            if rec is not None:
+                rec.record_complete(self.name, op_ids, response.ok, error=response.error)
+            return response
+        finally:
+            if span is not None:
+                obs.tracer.end(span)
+                obs.hub.histogram(
+                    "op_latency_s", daemon=self.name, mechanism="rpc",
+                    op=request.op,
+                ).observe(span.duration_s)
+                obs.hub.counter(
+                    "ops", daemon=self.name, mechanism="rpc", op=request.op
+                ).incr(op_count)
 
     # -- operations ------------------------------------------------------------
     def mkdir(self, path: str) -> Generator[Event, None, Response]:

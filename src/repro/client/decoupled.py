@@ -60,6 +60,8 @@ class DecoupledClient:
         #: Conformance history recorder (see ``repro.conformance``);
         #: None keeps the append path unobserved.
         self.recorder = None
+        #: Observability (see ``repro.obs``); same None-guarded pattern.
+        self.obs = None
 
     # -- inode provisioning -------------------------------------------------
     def assign_inodes(self, ino_range) -> None:
@@ -86,6 +88,20 @@ class DecoupledClient:
             per_op += cal.LOCAL_PERSIST_RECORD_S
         return n * per_op
 
+    def _obs_record(self, op: str, n: int, t0: float) -> None:
+        """Record one append-path op batch (no-op when obs is off)."""
+        obs = self.obs
+        if obs is None:
+            return
+        obs.hub.histogram(
+            "op_latency_s", daemon=self.name,
+            mechanism="append_client_journal", op=op,
+        ).observe(self.engine.now - t0)
+        obs.hub.counter(
+            "ops", daemon=self.name, mechanism="append_client_journal",
+            op=op,
+        ).incr(n)
+
     # -- operations (process bodies) ---------------------------------------
     def create_many(
         self,
@@ -93,50 +109,65 @@ class DecoupledClient:
         names_or_count: Union[int, Sequence[str]],
     ) -> Generator[Event, None, int]:
         """Append creates for many files; returns ops recorded."""
-        if isinstance(names_or_count, int):
-            n = names_or_count
-            yield self.engine.sleep(self._op_time(n))
-            self.counted_ops += n
-            if self.persist_each:
-                yield from self.disk.write(n * WIRE_EVENT_BYTES)
-                self.note_local_persist()
-            self.stats.counter("ops").incr(n)
-            return n
-        names = list(names_or_count)
-        rec = self.recorder
-        op_ids = None
-        if rec is not None:
-            base = dir_path.rstrip("/")
-            op_ids = rec.record_invoke(
-                self.name, "create", [f"{base}/{n}" for n in names],
-                self.client_id,
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.tracer.start(
+                "client.append", daemon=self.name,
+                mechanism="append_client_journal", op="create",
             )
-        yield self.engine.sleep(self._op_time(len(names)))
-        appended = []
-        for name in names:
-            path = dir_path.rstrip("/") + "/" + name
-            appended.append(self.journal.append(
-                JournalEvent(
-                    EventType.CREATE,
-                    path,
-                    ino=self._next_ino(),
-                    mtime=self.engine.now,
-                    client_id=self.client_id,
+        t0 = self.engine.now
+        try:
+            if isinstance(names_or_count, int):
+                n = names_or_count
+                yield self.engine.sleep(self._op_time(n))
+                self.counted_ops += n
+                if self.persist_each:
+                    yield from self.disk.write(n * WIRE_EVENT_BYTES)
+                    self.note_local_persist()
+                self.stats.counter("ops").incr(n)
+                self._obs_record("create", n, t0)
+                return n
+            names = list(names_or_count)
+            rec = self.recorder
+            op_ids = None
+            if rec is not None:
+                base = dir_path.rstrip("/")
+                op_ids = rec.record_invoke(
+                    self.name, "create", [f"{base}/{n}" for n in names],
+                    self.client_id,
                 )
-            ))
-        if rec is not None:
-            rec.record_complete(self.name, op_ids, True, events=appended)
-        if self.persist_each:
-            yield from self.disk.write(len(names) * WIRE_EVENT_BYTES)
-            self.note_local_persist()
-        self.stats.counter("ops").incr(len(names))
-        return len(names)
+            yield self.engine.sleep(self._op_time(len(names)))
+            appended = []
+            for name in names:
+                path = dir_path.rstrip("/") + "/" + name
+                appended.append(self.journal.append(
+                    JournalEvent(
+                        EventType.CREATE,
+                        path,
+                        ino=self._next_ino(),
+                        mtime=self.engine.now,
+                        client_id=self.client_id,
+                    )
+                ))
+            if rec is not None:
+                rec.record_complete(self.name, op_ids, True, events=appended)
+            if self.persist_each:
+                yield from self.disk.write(len(names) * WIRE_EVENT_BYTES)
+                self.note_local_persist()
+            self.stats.counter("ops").incr(len(names))
+            self._obs_record("create", len(names), t0)
+            return len(names)
+        finally:
+            if span is not None:
+                obs.tracer.end(span)
 
     def mkdir(self, path: str) -> Generator[Event, None, JournalEvent]:
         rec = self.recorder
         op_ids = None
         if rec is not None:
             op_ids = rec.record_invoke(self.name, "mkdir", [path], self.client_id)
+        t0 = self.engine.now
         yield self.engine.sleep(self._op_time(1))
         ev = self.journal.append(
             JournalEvent(
@@ -154,6 +185,7 @@ class DecoupledClient:
             yield from self.disk.write(WIRE_EVENT_BYTES)
             self.note_local_persist()
         self.stats.counter("ops").incr(1)
+        self._obs_record("mkdir", 1, t0)
         return ev
 
     def unlink(self, path: str) -> Generator[Event, None, JournalEvent]:
@@ -161,6 +193,7 @@ class DecoupledClient:
         op_ids = None
         if rec is not None:
             op_ids = rec.record_invoke(self.name, "unlink", [path], self.client_id)
+        t0 = self.engine.now
         yield self.engine.sleep(self._op_time(1))
         ev = self.journal.append(
             JournalEvent(
@@ -174,6 +207,7 @@ class DecoupledClient:
             yield from self.disk.write(WIRE_EVENT_BYTES)
             self.note_local_persist()
         self.stats.counter("ops").incr(1)
+        self._obs_record("unlink", 1, t0)
         return ev
 
     def rename(self, src: str, dst: str) -> Generator[Event, None, JournalEvent]:
@@ -181,6 +215,7 @@ class DecoupledClient:
         op_ids = None
         if rec is not None:
             op_ids = rec.record_invoke(self.name, "rename", [src], self.client_id)
+        t0 = self.engine.now
         yield self.engine.sleep(self._op_time(1))
         ev = self.journal.append(
             JournalEvent(
@@ -194,6 +229,7 @@ class DecoupledClient:
             yield from self.disk.write(WIRE_EVENT_BYTES)
             self.note_local_persist()
         self.stats.counter("ops").incr(1)
+        self._obs_record("rename", 1, t0)
         return ev
 
     # -- bookkeeping --------------------------------------------------------
@@ -219,6 +255,10 @@ class DecoupledClient:
         self.stats.counter("local_persists").incr()
         if self.recorder is not None:
             self.recorder.record_local_persist(self)
+        if self.obs is not None:
+            self.obs.hub.counter(
+                "local_persists", daemon=self.name, mechanism="local_persist"
+            ).incr()
 
     def crash(self, lose_disk: bool = False) -> int:
         """Simulate a client crash: the in-memory journal is lost.

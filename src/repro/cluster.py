@@ -83,6 +83,9 @@ class Cluster:
         #: ``repro.conformance.HistoryRecorder.attach``); propagated to
         #: clients created after attachment.
         self.recorder = None
+        #: Observability (set by ``repro.obs.Observability.attach``);
+        #: propagated to clients created after attachment.
+        self.obs = None
 
     @staticmethod
     def _rank_config(cfg: MDSConfig, rank: int) -> MDSConfig:
@@ -133,6 +136,8 @@ class Cluster:
         )
         if self.recorder is not None:
             client.recorder = self.recorder
+        if self.obs is not None:
+            client.obs = self.obs
         self._clients.append(client)
         return client
 
@@ -144,6 +149,8 @@ class Cluster:
         )
         if self.recorder is not None:
             client.recorder = self.recorder
+        if self.obs is not None:
+            client.obs = self.obs
         self._dclients.append(client)
         return client
 

@@ -34,6 +34,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--histories", action="store_true",
                         help="embed each cell's canonical history in the "
                         "artifact (larger, fully reproducible record)")
+    parser.add_argument("--obs", action="store_true",
+                        help="run each cell instrumented (repro.obs) and "
+                        "embed per-cell metric/span summaries; verdicts "
+                        "are unchanged")
     args = parser.parse_args(argv)
 
     cells = list(CELLS)
@@ -48,7 +52,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 )
             cells.append((c, d))
 
-    report = run_matrix(seed=args.seed, jobs=args.jobs, cells=cells)
+    report = run_matrix(seed=args.seed, jobs=args.jobs, cells=cells,
+                        obs=args.obs)
     for verdict in report["cells"]:
         status = "ok" if verdict["ok"] else "FAIL"
         print(

@@ -98,19 +98,28 @@ def _crash_recover(cluster, target: str, mode: str,
     cluster.run()
 
 
-def run_cell(task: Tuple[str, str, int]) -> Dict:
-    """Run one (consistency, durability, seed) scenario; returns a dict
-    with the checker ``verdict`` and the canonical ``history`` text.
+def run_cell(task: Tuple) -> Dict:
+    """Run one (consistency, durability, seed[, obs]) scenario; returns
+    a dict with the checker ``verdict`` and the canonical ``history``
+    text (plus an ``obs`` summary when the 4th task element is true).
 
     Top-level and picklable so :func:`parallel_map` can fan the matrix
     out over processes; the output contains no wall-clock state, so
     serial and parallel runs are byte-identical.
     """
-    consistency, durability, seed = task
+    consistency, durability, seed = task[:3]
+    with_obs = bool(task[3]) if len(task) > 3 else False
     cluster = Cluster(
         seed=seed, mds_config=MDSConfig(segment_events=SEGMENT_EVENTS)
     )
     recorder = HistoryRecorder.attach(cluster)
+    obs = None
+    if with_obs:
+        # Attach after the recorder so the object-store hook chains;
+        # detach (below) before the recorder for the same reason.
+        from repro.obs import Observability
+
+        obs = Observability(cluster).attach()
     try:
         cudele = Cudele(cluster)
         boot = cluster.new_client()
@@ -147,8 +156,19 @@ def run_cell(task: Tuple[str, str, int]) -> Dict:
             subtree=SUBTREE, owner=owner,
         )
         verdict["seed"] = seed
-        return {"verdict": verdict, "history": recorder.history.canonical()}
+        result = {"verdict": verdict, "history": recorder.history.canonical()}
+        if obs is not None:
+            from repro.obs.report import breakdown_rows
+
+            result["obs"] = {
+                "breakdown": breakdown_rows(obs.hub),
+                "span_count": len(obs.tracer.spans),
+                "metric_count": len(obs.hub),
+            }
+        return result
     finally:
+        if obs is not None:
+            obs.detach()
         recorder.detach()
 
 
@@ -156,11 +176,18 @@ def run_matrix(
     seed: int = 0,
     jobs: Optional[int] = None,
     cells: Sequence[Tuple[str, str]] = CELLS,
+    obs: bool = False,
 ) -> Dict:
-    """Check every requested cell under one seed; returns the report."""
-    tasks = [(c, d, seed) for (c, d) in cells]
+    """Check every requested cell under one seed; returns the report.
+
+    With ``obs=True`` each cell also runs instrumented (metrics + span
+    tracing chained over the history recorder) and the report gains a
+    per-cell ``obs`` section.  Verdicts and histories are identical
+    either way — observation is pure host-side bookkeeping.
+    """
+    tasks = [(c, d, seed, obs) for (c, d) in cells]
     results = parallel_map(run_cell, tasks, jobs=jobs)
-    return {
+    report = {
         "seed": seed,
         "subtree": SUBTREE,
         "ok": all(r["verdict"]["ok"] for r in results),
@@ -170,6 +197,12 @@ def run_matrix(
             for (c, d), r in zip(cells, results)
         },
     }
+    if obs:
+        report["obs"] = {
+            f"{c}/{d}": r["obs"]
+            for (c, d), r in zip(cells, results)
+        }
+    return report
 
 
 def report_json(report: Dict, with_histories: bool = False) -> str:

@@ -258,11 +258,34 @@ MECHANISMS: Dict[str, Callable[[MechanismContext], Generator]] = {
 def run_mechanism(
     name: str, ctx: MechanismContext
 ) -> Generator[Event, None, None]:
-    """Dispatch one mechanism by name (process body)."""
+    """Dispatch one mechanism by name (process body).
+
+    When observability is attached to the cluster, every mechanism run
+    gets a ``mech.<name>`` span and a ``mechanism_latency_s`` sample —
+    all completion paths (``CompositionPlan.execute``, retarget,
+    recouple) flow through here, so this one hook covers them all.
+    """
     try:
         impl = MECHANISMS[name]
     except KeyError:
         raise KeyError(
             f"unknown mechanism {name!r}; known: {sorted(MECHANISMS)}"
         ) from None
-    yield from impl(ctx)
+    obs = getattr(ctx.cluster, "obs", None)
+    if obs is None:
+        yield from impl(ctx)
+        return
+    span = obs.tracer.start(
+        f"mech.{name}", daemon="cudele", mechanism=name,
+        subtree=ctx.subtree,
+    )
+    try:
+        yield from impl(ctx)
+    finally:
+        obs.tracer.end(span)
+        obs.hub.histogram(
+            "mechanism_latency_s", daemon="cudele", mechanism=name
+        ).observe(span.duration_s)
+        obs.hub.counter(
+            "mechanism_runs", daemon="cudele", mechanism=name
+        ).incr()

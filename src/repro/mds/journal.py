@@ -48,6 +48,10 @@ class MDSJournal:
         self.enabled = enabled
         self.dispatch_size = dispatch_size
         self.segment_events = segment_events
+        self.src = src
+        #: Observability (see ``repro.obs``); None keeps dispatch
+        #: unobserved (same pattern as the conformance recorder).
+        self.obs = None
         self._journaler = Journaler(
             engine, striper, segment_events=segment_events, src=src
         )
@@ -114,11 +118,20 @@ class MDSJournal:
         )
 
     def _flush_real(self, segment) -> Generator[Event, None, None]:
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.tracer.start(
+                "journal.dispatch", daemon=self.src, mechanism="stream"
+            )
         try:
             yield self.engine.process(self._journaler.dispatch_segment(segment))
         finally:
             self.segments_in_flight -= 1
             self._window.release()
+            if span is not None:
+                obs.tracer.end(span)
+                self._note_dispatch(obs, span)
 
     def _dispatch_counted(self, n: int) -> Generator[Event, None, None]:
         yield from self._acquire_slot()
@@ -132,6 +145,12 @@ class MDSJournal:
         self._inflight.append(proc)
 
     def _flush_counted(self, n: int) -> Generator[Event, None, None]:
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.tracer.start(
+                "journal.dispatch", daemon=self.src, mechanism="stream"
+            )
         try:
             # One placeholder byte carries the full simulated wire cost.
             yield self.engine.process(
@@ -145,6 +164,17 @@ class MDSJournal:
         finally:
             self.segments_in_flight -= 1
             self._window.release()
+            if span is not None:
+                obs.tracer.end(span)
+                self._note_dispatch(obs, span)
+
+    def _note_dispatch(self, obs, span) -> None:
+        obs.hub.histogram(
+            "dispatch_latency_s", daemon=self.src, mechanism="stream"
+        ).observe(span.duration_s)
+        obs.hub.counter(
+            "segments_dispatched", daemon=self.src, mechanism="stream"
+        ).incr()
 
     def flush(self) -> Generator[Event, None, None]:
         """Flush any partial segment and wait for every in-flight

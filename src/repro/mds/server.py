@@ -85,6 +85,10 @@ class Request:
     names: Optional[List[str]] = None
     count: int = 1
     payload: Any = None
+    #: Trace context carried across the client->MDS queue hop (the
+    #: simulated RPC header); stamped by :meth:`MetadataServer.submit`
+    #: when observability is attached, None otherwise.
+    span: Any = None
 
     def __post_init__(self) -> None:
         if self.names is not None:
@@ -147,6 +151,8 @@ class MetadataServer:
         #: Conformance history recorder (see ``repro.conformance``);
         #: None keeps the request loop unobserved.
         self.recorder = None
+        #: Observability (see ``repro.obs``); same None-guarded pattern.
+        self.obs = None
         self._loop = engine.process(self._serve_loop(), name=f"{name}.loop")
         self.running = True
         self.up = True
@@ -170,6 +176,11 @@ class MetadataServer:
         if not self.up:
             done.fail(MDSDownError(f"{self.name} is down"))
             return done
+        obs = self.obs
+        if obs is not None and request.span is None:
+            # Stamp the submitter's span onto the request — trace context
+            # in the RPC header, carried across the queue hop.
+            request.span = obs.tracer.current()
         self._queue.put((request, done))
         return done
 
@@ -191,6 +202,13 @@ class MetadataServer:
                     return
                 self._current = (request, done)
                 self._cpu_util.set_level(1.0)
+                obs = self.obs
+                span = None
+                if obs is not None:
+                    span = obs.tracer.start(
+                        "mds.handle", daemon=self.name, mechanism="rpc",
+                        parent=request.span, op=request.op,
+                    )
                 try:
                     response, commit_latency = yield from self._handle(request)
                 except Interrupt:  # crash mid-request; crash() failed done
@@ -202,6 +220,17 @@ class MetadataServer:
                     )
                 finally:
                     self._cpu_util.set_level(0.0)
+                    if span is not None:
+                        obs.tracer.end(span)
+                        obs.hub.histogram(
+                            "handle_latency_s", daemon=self.name,
+                            mechanism="rpc", op=request.op,
+                            policy=obs.mds_policy_tag(self, request.path),
+                        ).observe(span.duration_s)
+                        obs.hub.counter(
+                            "requests", daemon=self.name, mechanism="rpc",
+                            op=request.op,
+                        ).incr(request.count)
                 self._current = None
                 if not self.up:
                     # Crashed while the handler was unwinding: the reply
@@ -474,6 +503,12 @@ class MetadataServer:
 
         created, errors = [], []
         rec = self.recorder
+        obs = self.obs
+        apply_span = None
+        if obs is not None:
+            apply_span = obs.tracer.start(
+                "mds.apply", daemon=self.name, mechanism="volatile_apply",
+            )
         events: Optional[List[JournalEvent]] = None
         if self.config.materialize and request.names is not None:
             events = []
@@ -512,13 +547,32 @@ class MetadataServer:
             self._synthetic_sizes[dir_ino] = (
                 self._synthetic_sizes.get(dir_ino, 0) + request.count
             )
+        if apply_span is not None:
+            obs.tracer.end(apply_span)
+            obs.hub.counter(
+                "applied_events", daemon=self.name,
+                mechanism="volatile_apply",
+            ).incr(request.count)
 
-        if events is not None:
-            if rec is not None and self.journal.enabled:
-                rec.note_mds_journaled(self, events)
-            yield from self.journal.log_events(events=events)
-        else:
-            yield from self.journal.log_events(count=request.count)
+        journal_span = None
+        if obs is not None:
+            journal_span = obs.tracer.start(
+                "mds.journal.append", daemon=self.name, mechanism="stream",
+            )
+        try:
+            if events is not None:
+                if rec is not None and self.journal.enabled:
+                    rec.note_mds_journaled(self, events)
+                yield from self.journal.log_events(events=events)
+            else:
+                yield from self.journal.log_events(count=request.count)
+        finally:
+            if journal_span is not None:
+                obs.tracer.end(journal_span)
+                obs.hub.histogram(
+                    "journal_append_latency_s", daemon=self.name,
+                    mechanism="stream",
+                ).observe(journal_span.duration_s)
 
         latency = request.count * self.journal.commit_latency_s()
         ok = not errors

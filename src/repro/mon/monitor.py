@@ -78,15 +78,25 @@ class Monitor:
 
     def clear_subtree(
         self, path: str, src: str = "client"
-    ) -> Generator[Event, None, int]:
-        """Remove the policy on ``path`` (subtree reverts to inherited)."""
+    ) -> Generator[Event, None, Optional[int]]:
+        """Remove the policy on ``path`` (subtree reverts to inherited).
+
+        Returns the **new** map version when an assignment was actually
+        removed.  Clearing a path with no exact assignment is an
+        explicit no-op: the submission still pays the client->monitor
+        wire cost (the monitor must see the request to reject it), but
+        no version is minted, nothing is distributed, and the call
+        returns ``None`` — callers can tell "cleared" from "there was
+        nothing to clear" instead of receiving the stale old version.
+        """
         norm = _normalize(path)
         yield from self.network.send(src, self.name, POLICY_UPDATE_BYTES)
-        if norm in self._policies:
-            self.version += 1
-            del self._policies[norm]
-            self.history.append(PolicyMapEntry(self.version, norm, None))
-            yield from self._distribute()
+        if norm not in self._policies:
+            return None
+        self.version += 1
+        del self._policies[norm]
+        self.history.append(PolicyMapEntry(self.version, norm, None))
+        yield from self._distribute()
         return self.version
 
     def _distribute(self) -> Generator[Event, None, None]:

@@ -1,0 +1,35 @@
+"""repro.obs — span tracing and metrics for the simulated cluster.
+
+``observe(cluster)`` attaches a :class:`MetricsHub` and a
+:class:`Tracer` to every daemon; ``python -m repro.obs report`` renders
+the per-mechanism latency breakdown from a saved report.  See
+``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.core import Observability, observe, policy_tag
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsHub,
+)
+from repro.obs.report import (
+    REPORT_SCHEMA,
+    breakdown_rows,
+    format_breakdown,
+    load_report,
+    mechanism_breakdown,
+    obs_report,
+    render_spans,
+    rows_to_csv,
+)
+from repro.obs.spans import Span, Tracer
+
+__all__ = [
+    "Observability", "observe", "policy_tag",
+    "MetricsHub", "Counter", "Gauge", "Histogram", "DEFAULT_LATENCY_BOUNDS",
+    "Span", "Tracer",
+    "REPORT_SCHEMA", "obs_report", "breakdown_rows", "format_breakdown",
+    "mechanism_breakdown", "rows_to_csv", "render_spans", "load_report",
+]

@@ -1,0 +1,118 @@
+"""CLI: render obs reports, or generate one with the probe workload.
+
+    python -m repro.obs report bench-artifacts/           # table from OBS_report.json
+    python -m repro.obs report OBS_report.json --csv out.csv --spans
+    python -m repro.obs probe --out obs-artifacts/ --seed 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.obs.report import (
+    format_breakdown, load_report, render_spans, rows_to_csv,
+)
+
+REPORT_JSON = "OBS_report.json"
+BREAKDOWN_CSV = "OBS_breakdown.csv"
+
+
+def _resolve_report_path(path: str) -> str:
+    if os.path.isdir(path):
+        return os.path.join(path, REPORT_JSON)
+    return path
+
+
+def _print_report(report: dict, show_spans: bool) -> None:
+    meta = report.get("meta", {})
+    if meta:
+        pairs = ", ".join(f"{k}={meta[k]}" for k in sorted(meta))
+        print(f"# {pairs}")
+    print(format_breakdown(report.get("breakdown", [])))
+    if show_spans:
+        spans = report.get("spans")
+        print()
+        if spans:
+            print(render_spans(spans))
+        else:
+            print("(report carries no spans)")
+
+
+def write_report_artifacts(report: dict, out_dir: str) -> list:
+    """Write OBS_report.json + OBS_breakdown.csv; returns the paths."""
+    os.makedirs(out_dir, exist_ok=True)
+    json_path = os.path.join(out_dir, REPORT_JSON)
+    csv_path = os.path.join(out_dir, BREAKDOWN_CSV)
+    with open(json_path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    with open(csv_path, "w", encoding="utf-8") as fh:
+        fh.write(rows_to_csv(report.get("breakdown", [])))
+    return [json_path, csv_path]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Observability reports for the Cudele simulator.",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    rep = sub.add_parser("report", help="render a saved obs report")
+    rep.add_argument(
+        "path",
+        help=f"report JSON, or a directory holding {REPORT_JSON}",
+    )
+    rep.add_argument("--csv", help="also write the breakdown as CSV here")
+    rep.add_argument(
+        "--spans", action="store_true", help="print the span forest"
+    )
+
+    probe = sub.add_parser(
+        "probe", help="run the instrumented probe workload"
+    )
+    probe.add_argument("--seed", type=int, default=0)
+    probe.add_argument("--ops", type=int, default=300)
+    probe.add_argument(
+        "--no-profile", action="store_true",
+        help="skip busy-time attribution",
+    )
+    probe.add_argument("--out", help="directory for the report artifacts")
+    probe.add_argument(
+        "--spans", action="store_true", help="print the span forest"
+    )
+
+    args = parser.parse_args(argv)
+
+    if args.cmd == "report":
+        path = _resolve_report_path(args.path)
+        try:
+            report = load_report(path)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        _print_report(report, args.spans)
+        if args.csv:
+            with open(args.csv, "w", encoding="utf-8") as fh:
+                fh.write(rows_to_csv(report.get("breakdown", [])))
+            print(f"\nwrote {args.csv}")
+        return 0
+
+    # probe — import lazily so `report` stays light.
+    from repro.obs.probe import probe_report
+
+    report = probe_report(
+        seed=args.seed, ops=args.ops, profile=not args.no_profile
+    )
+    _print_report(report, args.spans)
+    if args.out:
+        for path in write_report_artifacts(report, args.out):
+            print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

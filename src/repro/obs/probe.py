@@ -1,0 +1,77 @@
+"""A small instrumented workload that exercises every mechanism leg.
+
+The probe drives one cluster through the two poles of Table I:
+
+* ``/strong`` — strong+global (``rpcs+stream``): synchronous RPC
+  creates, journal appends/dispatches, a final journal flush;
+* ``/weak`` — weak+global (``append_client_journal+global_persist+
+  volatile_apply``): decoupled appends, a global persist, and a merge.
+
+It is the workload behind ``python -m repro.obs probe`` and the bench
+harness's ``--obs`` flag.  Deliberately separate from the bench
+experiments themselves, which stay uninstrumented so their artifacts
+remain byte-identical with obs off (the zero-overhead guarantee).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster import Cluster
+from repro.core.namespace_api import Cudele
+from repro.core.policy import SubtreePolicy
+from repro.mds.server import MDSConfig
+from repro.obs.core import Observability, observe
+from repro.obs.report import obs_report
+
+__all__ = ["run_probe", "probe_report"]
+
+#: Small segments so a few hundred creates exercise dispatch/flush.
+PROBE_SEGMENT_EVENTS = 64
+
+
+def run_probe(
+    seed: int = 0, ops: int = 300, profile: bool = True
+) -> Observability:
+    """Run the probe; returns the (detached) observability handle."""
+    cluster = Cluster(
+        mds_config=MDSConfig(segment_events=PROBE_SEGMENT_EVENTS), seed=seed
+    )
+    obs = observe(cluster, profile=profile)
+    cudele = Cudele(cluster)
+    try:
+        with obs.tracer.span("probe.strong"):
+            ns = cluster.run(cudele.decouple(
+                "/strong", SubtreePolicy.from_semantics("strong", "global")
+            ))
+            cluster.run(ns.create_many([f"f{i}" for i in range(ops)]))
+            cluster.run(ns.finalize())
+        with obs.tracer.span("probe.weak"):
+            ns = cluster.run(cudele.decouple(
+                "/weak",
+                SubtreePolicy.from_semantics(
+                    "weak", "global", allocated_inodes=ops
+                ),
+            ))
+            cluster.run(ns.create_many([f"g{i}" for i in range(ops)]))
+            cluster.run(ns.finalize())
+    finally:
+        obs.detach()
+    return obs
+
+
+def probe_report(
+    seed: int = 0, ops: int = 300, profile: bool = True,
+    meta: Optional[dict] = None,
+) -> dict:
+    """Run the probe and package it as a report dict."""
+    obs = run_probe(seed=seed, ops=ops, profile=profile)
+    base = {
+        "source": "probe",
+        "seed": seed,
+        "ops": ops,
+        "profile": profile,
+        "sim_end_s": obs.engine.now,
+    }
+    base.update(meta or {})
+    return obs_report(obs, meta=base)

@@ -1,0 +1,163 @@
+"""Rendering: per-mechanism latency breakdown, JSON/CSV artifacts.
+
+The breakdown answers the paper's central "where does the time go"
+question per mechanism: every ``*latency_s`` histogram is merged by its
+``mechanism`` tag, so the table shows — for one run — how RPC round
+trips compare to journal appends, applies, and persists.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import Histogram, MetricsHub
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "mechanism_breakdown",
+    "breakdown_rows",
+    "format_breakdown",
+    "rows_to_csv",
+    "obs_report",
+    "render_spans",
+    "load_report",
+]
+
+REPORT_SCHEMA = "repro-obs-report/1"
+
+#: Columns of the breakdown table/CSV, in order.
+BREAKDOWN_FIELDS = (
+    "mechanism", "count", "total_s", "mean_s",
+    "p50_s", "p95_s", "p99_s", "max_s",
+)
+
+
+def mechanism_breakdown(hub: MetricsHub) -> Dict[str, Histogram]:
+    """Merge every ``*latency_s`` histogram by its ``mechanism`` tag.
+
+    Returns ``{mechanism: merged histogram}`` sorted by mechanism name;
+    histograms without a mechanism tag land under ``"untagged"``.
+    """
+    merged: Dict[str, Histogram] = {}
+    for hist in hub.histograms():
+        if not hist.name.endswith("latency_s"):
+            continue
+        mech = dict(hist.tags).get("mechanism", "untagged")
+        agg = merged.get(mech)
+        if agg is None:
+            agg = Histogram(
+                "latency_s", tags=(("mechanism", mech),), bounds=hist.bounds
+            )
+            merged[mech] = agg
+        agg.merge(hist)
+    return {mech: merged[mech] for mech in sorted(merged)}
+
+
+def breakdown_rows(hub: MetricsHub) -> List[dict]:
+    """The breakdown as JSON/CSV-ready rows (see BREAKDOWN_FIELDS)."""
+    rows = []
+    for mech, hist in mechanism_breakdown(hub).items():
+        rows.append({
+            "mechanism": mech,
+            "count": hist.count,
+            "total_s": hist.sum,
+            "mean_s": hist.mean,
+            "p50_s": hist.percentile(50),
+            "p95_s": hist.percentile(95),
+            "p99_s": hist.percentile(99),
+            "max_s": hist.max if hist.count else 0.0,
+        })
+    return rows
+
+
+def format_breakdown(rows: List[dict]) -> str:
+    """Fixed-width table of the per-mechanism latency breakdown."""
+    if not rows:
+        return "(no latency histograms recorded)"
+    name_w = max(len("mechanism"), *(len(r["mechanism"]) for r in rows))
+    header = (
+        f"{'mechanism':<{name_w}}  {'count':>8}  {'total_s':>10}  "
+        f"{'mean_s':>10}  {'p50_s':>10}  {'p95_s':>10}  {'p99_s':>10}  "
+        f"{'max_s':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r['mechanism']:<{name_w}}  {r['count']:>8}  "
+            f"{r['total_s']:>10.6f}  {r['mean_s']:>10.6f}  "
+            f"{r['p50_s']:>10.6f}  {r['p95_s']:>10.6f}  "
+            f"{r['p99_s']:>10.6f}  {r['max_s']:>10.6f}"
+        )
+    return "\n".join(lines)
+
+
+def rows_to_csv(rows: List[dict]) -> str:
+    """The breakdown rows as CSV text (deterministic column order)."""
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=BREAKDOWN_FIELDS)
+    writer.writeheader()
+    for r in rows:
+        writer.writerow({k: r[k] for k in BREAKDOWN_FIELDS})
+    return buf.getvalue()
+
+
+def obs_report(obs, meta: Optional[dict] = None,
+               include_spans: bool = True) -> dict:
+    """One JSON-ready report: metrics, breakdown, and (optionally) spans.
+
+    ``obs`` is an attached-or-detached
+    :class:`~repro.obs.core.Observability`.  Deterministic: metric and
+    span order is fixed, timestamps are simulated.
+    """
+    report = {
+        "schema": REPORT_SCHEMA,
+        "meta": dict(meta or {}),
+        "breakdown": breakdown_rows(obs.hub),
+        "metrics": obs.hub.snapshot(),
+    }
+    if include_spans:
+        report["spans"] = obs.tracer.to_dicts()
+    return report
+
+
+def render_spans(spans: List[dict]) -> str:
+    """ASCII forest for a list of span dicts (see ``Span.to_dict``)."""
+    children: Dict[int, List[dict]] = {}
+    for s in spans:
+        children.setdefault(s["parent"], []).append(s)
+    lines: List[str] = []
+
+    def walk(span: dict, depth: int) -> None:
+        end = "..." if span["t_end"] is None else f"{span['t_end']:.6f}"
+        extra = f" busy={span['busy_s']:.6f}s" if span.get("busy_s") else ""
+        meta = ", ".join(
+            x for x in (span.get("daemon"), span.get("mechanism")) if x
+        )
+        lines.append(
+            f"{'  ' * depth}{span['name']}"
+            + (f" ({meta})" if meta else "")
+            + f" [{span['t_start']:.6f}..{end}]{extra}"
+        )
+        for child in children.get(span["id"], ()):
+            walk(child, depth + 1)
+
+    for root in children.get(0, ()):
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+def load_report(path) -> dict:
+    """Read a report JSON written by ``obs_report``/the bench ``--obs``
+    run, validating the schema marker."""
+    with open(path, "r", encoding="utf-8") as fh:
+        report = json.load(fh)
+    schema = report.get("schema")
+    if schema != REPORT_SCHEMA:
+        raise ValueError(
+            f"{path}: not an obs report (schema={schema!r}, "
+            f"expected {REPORT_SCHEMA!r})"
+        )
+    return report

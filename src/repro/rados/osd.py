@@ -47,6 +47,8 @@ class OSD:
         )
         self.objects: Dict[str, RadosObject] = {}
         self.stats = StatsRegistry(engine, self.name)
+        #: Observability (see ``repro.obs``); None keeps I/O unobserved.
+        self.obs = None
         self.up = True
         #: Bumped on every crash; an I/O that started under an older
         #: epoch fails even if the OSD recovered while it was in flight.
@@ -109,8 +111,27 @@ class OSD:
         self._check_up()
         epoch = self._epoch
         self.stats.counter("writes").incr()
-        yield from self.disk.write(len(data) if charge_bytes is None else charge_bytes)
-        self._check_survived(epoch, "write", name)
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.tracer.start(
+                "osd.write", daemon=self.name, mechanism="rados", obj=name
+            )
+        try:
+            yield from self.disk.write(
+                len(data) if charge_bytes is None else charge_bytes
+            )
+            self._check_survived(epoch, "write", name)
+        finally:
+            if span is not None:
+                obs.tracer.end(span)
+                obs.hub.histogram(
+                    "io_latency_s", daemon=self.name, mechanism="rados",
+                    op="write",
+                ).observe(span.duration_s)
+                obs.hub.counter(
+                    "bytes_written", daemon=self.name, mechanism="rados"
+                ).incr(int(len(data) if charge_bytes is None else charge_bytes))
         obj = self.objects.get(name)
         if obj is None:
             obj = RadosObject(name)
@@ -136,8 +157,27 @@ class OSD:
             raise KeyError(f"{self.name}: no such object {name!r}")
         data = obj.read(offset, length)
         self.stats.counter("reads").incr()
-        yield from self.disk.read(len(data) if charge_bytes is None else charge_bytes)
-        self._check_survived(epoch, "read", name)
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.tracer.start(
+                "osd.read", daemon=self.name, mechanism="rados", obj=name
+            )
+        try:
+            yield from self.disk.read(
+                len(data) if charge_bytes is None else charge_bytes
+            )
+            self._check_survived(epoch, "read", name)
+        finally:
+            if span is not None:
+                obs.tracer.end(span)
+                obs.hub.histogram(
+                    "io_latency_s", daemon=self.name, mechanism="rados",
+                    op="read",
+                ).observe(span.duration_s)
+                obs.hub.counter(
+                    "bytes_read", daemon=self.name, mechanism="rados"
+                ).incr(int(len(data) if charge_bytes is None else charge_bytes))
         return data
 
     def remove_object(self, name: str) -> None:

@@ -258,7 +258,7 @@ class Process(Event):
     """
 
     __slots__ = ("generator", "name", "_waiting_on", "last_resumed_by",
-                 "_bound_resume")
+                 "_bound_resume", "obs_span")
 
     def __init__(
         self,
@@ -279,6 +279,13 @@ class Process(Event):
         # One bound method reused for every wait registration (a fresh
         # bound-method object per step would be allocation churn).
         self._bound_resume = self._resume
+        #: Observability span context (see :mod:`repro.obs.spans`).
+        #: Inherited from whatever context spawns the process — the
+        #: active process, or the host driver's ``engine.host_span`` —
+        #: so Dapper-style traces follow fan-out across processes.
+        #: None everywhere unless a tracer is in use.
+        active = engine._active
+        self.obs_span = active.obs_span if active is not None else engine.host_span
         # Kick-start on the next engine step at the current time.
         init = Event(engine)
         init._cb = self._bound_resume
@@ -456,6 +463,15 @@ class Engine:
         #: ``pool_limit = 0`` to disable recycling.
         self._timeout_pool: list[_PooledTimeout] = []
         self.pool_limit = self.DEFAULT_POOL_LIMIT
+        #: Observability span for host-driver context (the analogue of
+        #: ``Process.obs_span`` when no process is active); processes
+        #: spawned from the host inherit it.  None unless a tracer set it.
+        self.host_span = None
+        #: Optional ``hook(delay)`` called on every :meth:`sleep` — the
+        #: opt-in profiling hook ``repro.obs`` uses to attribute
+        #: simulated busy time to the active span.  None keeps the hot
+        #: path to a single predictable branch.
+        self.sleep_hook = None
 
     @property
     def now(self) -> float:
@@ -481,6 +497,8 @@ class Engine:
         """
         if delay < 0:
             raise ValueError(f"negative sleep delay: {delay!r}")
+        if self.sleep_hook is not None:
+            self.sleep_hook(delay)
         pool = self._timeout_pool
         if pool:
             ev = pool.pop()

@@ -8,7 +8,7 @@ and standard deviations.  These recorders collect exactly that: counters,
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
+from bisect import bisect_left
 from typing import Dict, Iterable, List, Tuple
 
 import numpy as np
@@ -55,13 +55,19 @@ class TimeSeries:
         return len(self.times)
 
     def window(self, t0: float, t1: float) -> Tuple[np.ndarray, np.ndarray]:
-        """Samples with ``t0 <= t <= t1`` as numpy arrays."""
+        """Samples in the half-open window ``t0 <= t < t1``.
+
+        Half-open on the right so adjacent phase windows partition the
+        timeline: a sample landing exactly on a phase boundary belongs
+        to the *later* phase only (Figure-2-style per-phase breakdowns
+        previously double-counted boundary samples into both phases).
+        """
         lo = bisect_left(self.times, t0)
-        hi = bisect_right(self.times, t1)
+        hi = bisect_left(self.times, t1)
         return np.asarray(self.times[lo:hi]), np.asarray(self.values[lo:hi])
 
     def rate(self, t0: float, t1: float) -> float:
-        """Events per second assuming each sample's value is a count."""
+        """Events per second over ``[t0, t1)``, treating values as counts."""
         if t1 <= t0:
             return 0.0
         _, vals = self.window(t0, t1)
@@ -103,28 +109,31 @@ class UtilizationTracker:
         self.set_level(self._level + delta)
 
     def utilization(self, t0: float, t1: float) -> float:
-        """Mean busy fraction over ``[t0, t1]``."""
+        """Mean busy fraction over the window ``[t0, t1)``.
+
+        The level signal is a right-continuous step function: a level
+        set at time ``t`` holds on ``[t, next breakpoint)``.  The
+        integral clips each step to the window; a breakpoint exactly at
+        ``t1`` starts a level that contributes nothing, breakpoints at
+        or before ``t0`` only establish the entry level, and a window
+        opening before the first breakpoint integrates level 0 (the
+        tracker seeds an idle breakpoint at construction time).
+        """
         if t1 <= t0:
             return 0.0
         area = 0.0
-        pts = self._breakpoints
-        # Find the level at t0, then integrate segment by segment.
-        level = 0.0
-        for i, (t, lv) in enumerate(pts):
+        level = 0.0  # level in force at seg_start
+        seg_start = t0
+        for t, lv in self._breakpoints:
             if t <= t0:
-                level = lv
+                level = lv  # last breakpoint at/before t0 wins
                 continue
-            seg_start = max(t0, pts[i - 1][0] if i else t0)
-            seg_start = max(seg_start, t0)
             if t >= t1:
-                area += level * (t1 - seg_start)
-                level = None
                 break
             area += level * (t - seg_start)
+            seg_start = t
             level = lv
-        if level is not None:
-            last_t = max(t0, pts[-1][0])
-            area += level * (t1 - last_t)
+        area += level * (t1 - seg_start)
         return area / ((t1 - t0) * self.capacity)
 
 

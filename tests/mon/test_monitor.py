@@ -49,9 +49,33 @@ def test_clear_subtree(engine, mon):
     v = drive(engine, mon.clear_subtree("/a"))
     assert v == 2
     assert mon.resolve("/a/x") is None
-    # clearing a non-assigned path is a no-op version-wise
+
+
+def test_clear_unassigned_is_explicit_noop(engine, mon, network):
+    """Clearing a path with no assignment returns None, not a version."""
+    drive(engine, mon.set_subtree("/a", "p"))
+    mon.subscribe("mds0")
+    before_msgs = network.total_messages
     v = drive(engine, mon.clear_subtree("/never"))
-    assert v == 2
+    assert v is None
+    assert mon.version == 1  # no version minted
+    assert mon.history[-1].path == "/a"  # no history entry appended
+    # The submission pays one client->monitor message; the no-op is not
+    # distributed to subscribers.
+    assert network.total_messages == before_msgs + 1
+
+
+def test_clear_then_clear_again_distinguishable(engine, mon):
+    drive(engine, mon.set_subtree("/a", "p"))
+    assert drive(engine, mon.clear_subtree("/a")) == 2
+    assert drive(engine, mon.clear_subtree("/a")) is None
+
+
+def test_resolve_entry_root_without_policy(engine, mon):
+    assert mon.resolve_entry("/") is None
+    assert mon.resolve("/") is None
+    drive(engine, mon.set_subtree("/a", "p"))
+    assert mon.resolve_entry("/") is None  # non-root policy doesn't leak up
 
 
 def test_path_normalization(engine, mon):

@@ -1,0 +1,187 @@
+"""Unit tests for the metrics layer: counters, gauges, histograms, hub."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BOUNDS, Counter, Gauge, Histogram, MetricsHub,
+)
+
+
+# -- counters / gauges -----------------------------------------------------
+
+
+def test_counter_increments_and_rejects_negative():
+    c = Counter("ops", daemon="mds0")
+    c.incr()
+    c.incr(4)
+    assert c.value == 5
+    with pytest.raises(ValueError):
+        c.incr(-1)
+    assert c.value == 5
+
+
+def test_gauge_set_and_add():
+    g = Gauge("queue_depth", daemon="mds0")
+    g.set(3)
+    g.add(2.5)
+    assert g.value == 5.5
+    g.set(0)
+    assert g.value == 0.0
+
+
+def test_metric_requires_name():
+    with pytest.raises(ValueError):
+        Counter("")
+
+
+# -- histograms ------------------------------------------------------------
+
+
+def test_histogram_basic_stats():
+    h = Histogram("lat_s", bounds=(1.0, 2.0, 4.0))
+    for v in (0.5, 1.5, 3.0):
+        h.observe(v)
+    assert h.count == 3
+    assert h.sum == pytest.approx(5.0)
+    assert h.mean == pytest.approx(5.0 / 3)
+    assert h.min == 0.5
+    assert h.max == 3.0
+    with pytest.raises(ValueError):
+        h.observe(-0.1)
+
+
+def test_histogram_rejects_unsorted_bounds():
+    with pytest.raises(ValueError):
+        Histogram("x", bounds=(2.0, 1.0))
+    with pytest.raises(ValueError):
+        Histogram("x", bounds=())
+
+
+def test_histogram_overflow_bucket():
+    h = Histogram("lat_s", bounds=(1.0,))
+    h.observe(5.0)
+    assert h.counts == [0, 1]
+    assert h.to_dict()["buckets"] == {"+Inf": 1}
+    # The overflow bucket interpolates toward the observed max, and the
+    # clamp pins the estimate to it.
+    assert h.percentile(50) == 5.0
+
+
+def test_percentile_interpolates_within_bucket():
+    h = Histogram("lat_s", bounds=(10.0, 20.0))
+    for v in (12.0, 14.0, 16.0, 18.0):
+        h.observe(v)
+    # All four samples share the (10, 20] bucket: rank 2 of 4 lands
+    # halfway through it.
+    assert h.percentile(50) == pytest.approx(15.0)
+    assert h.percentile(0) == 12.0  # clamped to observed min
+    assert h.percentile(100) == 18.0  # clamped to observed max
+    with pytest.raises(ValueError):
+        h.percentile(101)
+
+
+def test_percentile_pinning_regression():
+    """Repeated identical observations must report that exact value.
+
+    Regression guard: without the min/max clamp, a constant stream of
+    0.00123 s samples reports bucket-interpolated percentiles (an
+    artifact of the log-spaced bounds), not the observed latency.
+    """
+    h = Histogram("lat_s")  # DEFAULT_LATENCY_BOUNDS
+    for _ in range(50):
+        h.observe(0.00123)
+    assert h.percentile(50) == 0.00123
+    assert h.percentile(95) == 0.00123
+    assert h.percentile(99) == 0.00123
+    d = h.to_dict()
+    assert d["p50"] == d["p95"] == d["p99"] == 0.00123
+    assert d["min"] == d["max"] == 0.00123
+
+
+def test_percentile_never_leaves_observed_range():
+    h = Histogram("lat_s")
+    for v in (0.0001, 0.003, 0.25):
+        h.observe(v)
+    for p in (0, 10, 50, 90, 99, 100):
+        assert 0.0001 <= h.percentile(p) <= 0.25
+
+
+def test_empty_histogram_is_all_zero():
+    h = Histogram("lat_s")
+    assert h.percentile(50) == 0.0
+    assert h.mean == 0.0
+    d = h.to_dict()
+    assert d["count"] == 0
+    assert d["min"] == 0.0 and d["max"] == 0.0
+    assert d["buckets"] == {}
+
+
+def test_histogram_merge():
+    a = Histogram("lat_s", bounds=(1.0, 2.0))
+    b = Histogram("lat_s", bounds=(1.0, 2.0))
+    a.observe(0.5)
+    b.observe(1.5)
+    b.observe(1.7)
+    a.merge(b)
+    assert a.count == 3
+    assert a.sum == pytest.approx(3.7)
+    assert a.min == 0.5 and a.max == 1.7
+    assert a.counts == [1, 2, 0]
+
+
+def test_histogram_merge_rejects_different_bounds():
+    a = Histogram("lat_s", bounds=(1.0,))
+    b = Histogram("lat_s", bounds=(2.0,))
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_default_bounds_cover_microseconds_to_kiloseconds():
+    assert DEFAULT_LATENCY_BOUNDS[0] == pytest.approx(1e-6)
+    assert DEFAULT_LATENCY_BOUNDS[-1] == pytest.approx(1e3)
+    assert list(DEFAULT_LATENCY_BOUNDS) == sorted(DEFAULT_LATENCY_BOUNDS)
+
+
+# -- the hub ---------------------------------------------------------------
+
+
+def test_hub_get_or_create_identity():
+    hub = MetricsHub()
+    c1 = hub.counter("ops", daemon="mds0", mechanism="rpc")
+    c2 = hub.counter("ops", daemon="mds0", mechanism="rpc")
+    assert c1 is c2
+    # A different tag value is a different metric.
+    c3 = hub.counter("ops", daemon="mds0", mechanism="stream")
+    assert c3 is not c1
+    assert len(hub) == 2
+    assert hub.get("ops", daemon="mds0", mechanism="rpc") is c1
+    assert hub.get("ops", daemon="nope") is None
+
+
+def test_hub_kind_mismatch_is_an_error():
+    hub = MetricsHub()
+    hub.counter("x", daemon="d")
+    with pytest.raises(TypeError):
+        hub.histogram("x", daemon="d")
+    with pytest.raises(TypeError):
+        hub.gauge("x", daemon="d")
+
+
+def test_hub_snapshot_is_sorted_and_json_ready():
+    hub = MetricsHub()
+    hub.counter("zeta", daemon="b").incr()
+    hub.histogram("alpha_latency_s", daemon="a").observe(0.01)
+    hub.gauge("mid", daemon="a").set(2)
+    snap = hub.snapshot()
+    assert [m["name"] for m in snap] == ["alpha_latency_s", "mid", "zeta"]
+    # Round-trips through JSON without custom encoders.
+    assert json.loads(json.dumps(snap)) == snap
+
+
+def test_hub_histograms_filters_kind():
+    hub = MetricsHub()
+    hub.counter("ops")
+    h = hub.histogram("lat_s")
+    assert list(hub.histograms()) == [h]

@@ -1,0 +1,192 @@
+"""Report rendering: breakdown merge, table/CSV, artifacts, CLI."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.obs.__main__ import (
+    BREAKDOWN_CSV, REPORT_JSON, main, write_report_artifacts,
+)
+from repro.obs.metrics import MetricsHub
+from repro.obs.report import (
+    REPORT_SCHEMA, breakdown_rows, format_breakdown, load_report,
+    mechanism_breakdown, obs_report, render_spans, rows_to_csv,
+)
+
+
+class _FakeObs:
+    """obs_report only needs .hub and .tracer.to_dicts()."""
+
+    class _Tracer:
+        @staticmethod
+        def to_dicts():
+            return [{
+                "id": 1, "parent": 0, "name": "root", "daemon": "",
+                "mechanism": "", "t_start": 0.0, "t_end": 0.5,
+                "busy_s": 0.0, "tags": {},
+            }]
+
+    def __init__(self, hub):
+        self.hub = hub
+        self.tracer = self._Tracer()
+
+
+def _hub_with_latencies():
+    hub = MetricsHub()
+    hub.histogram("op_latency_s", daemon="client1", mechanism="rpc") \
+        .observe(0.001)
+    hub.histogram("handle_latency_s", daemon="mds0", mechanism="rpc") \
+        .observe(0.003)
+    hub.histogram("io_latency_s", daemon="osd.0", mechanism="rados") \
+        .observe(0.010)
+    hub.histogram("seek_latency_s", daemon="osd.1").observe(0.002)
+    # Non-latency metrics never enter the breakdown.
+    hub.counter("ops", daemon="client1", mechanism="rpc").incr(99)
+    hub.histogram("queue_depth", daemon="mds0").observe(4.0)
+    return hub
+
+
+# -- breakdown -------------------------------------------------------------
+
+
+def test_mechanism_breakdown_merges_by_tag():
+    merged = mechanism_breakdown(_hub_with_latencies())
+    assert list(merged) == ["rados", "rpc", "untagged"]
+    assert merged["rpc"].count == 2
+    assert merged["rpc"].sum == pytest.approx(0.004)
+    assert merged["rados"].count == 1
+    assert merged["untagged"].count == 1
+
+
+def test_breakdown_rows_shape():
+    rows = breakdown_rows(_hub_with_latencies())
+    assert [r["mechanism"] for r in rows] == ["rados", "rpc", "untagged"]
+    rpc = rows[1]
+    assert rpc["count"] == 2
+    assert rpc["total_s"] == pytest.approx(0.004)
+    assert rpc["mean_s"] == pytest.approx(0.002)
+    assert rpc["max_s"] == 0.003
+    assert 0.001 <= rpc["p50_s"] <= 0.003
+
+
+def test_format_breakdown_table():
+    rows = breakdown_rows(_hub_with_latencies())
+    text = format_breakdown(rows)
+    lines = text.splitlines()
+    assert lines[0].startswith("mechanism")
+    assert "p95_s" in lines[0]
+    assert any(line.startswith("rpc") for line in lines)
+    assert format_breakdown([]) == "(no latency histograms recorded)"
+
+
+def test_rows_to_csv_round_trips():
+    rows = breakdown_rows(_hub_with_latencies())
+    parsed = list(csv.DictReader(io.StringIO(rows_to_csv(rows))))
+    assert [r["mechanism"] for r in parsed] == ["rados", "rpc", "untagged"]
+    assert int(parsed[1]["count"]) == 2
+    assert float(parsed[0]["total_s"]) == pytest.approx(0.010)
+
+
+# -- span rendering --------------------------------------------------------
+
+
+def test_render_spans_forest_and_open_span():
+    spans = [
+        {"id": 1, "parent": 0, "name": "root", "daemon": "", "mechanism": "",
+         "t_start": 0.0, "t_end": 1.0, "busy_s": 0.25, "tags": {}},
+        {"id": 2, "parent": 1, "name": "leg", "daemon": "mds0",
+         "mechanism": "rpc", "t_start": 0.1, "t_end": None, "busy_s": 0.0,
+         "tags": {}},
+    ]
+    text = render_spans(spans)
+    lines = text.splitlines()
+    assert lines[0].startswith("root [0.000000..1.000000]")
+    assert "busy=0.250000s" in lines[0]
+    assert lines[1] == "  leg (mds0, rpc) [0.100000.....]"
+
+
+# -- report artifacts ------------------------------------------------------
+
+
+def test_obs_report_and_load_round_trip(tmp_path):
+    report = obs_report(
+        _FakeObs(_hub_with_latencies()), meta={"source": "test"}
+    )
+    assert report["schema"] == REPORT_SCHEMA
+    assert report["meta"] == {"source": "test"}
+    assert report["spans"][0]["name"] == "root"
+    paths = write_report_artifacts(report, str(tmp_path))
+    assert [p.rsplit("/", 1)[1] for p in paths] == [
+        REPORT_JSON, BREAKDOWN_CSV,
+    ]
+    loaded = load_report(tmp_path / REPORT_JSON)
+    assert loaded == json.loads(json.dumps(report))
+    assert (tmp_path / BREAKDOWN_CSV).read_text().startswith("mechanism,")
+
+
+def test_obs_report_can_omit_spans():
+    report = obs_report(_FakeObs(MetricsHub()), include_spans=False)
+    assert "spans" not in report
+    assert report["breakdown"] == []
+
+
+def test_load_report_rejects_wrong_schema(tmp_path):
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text('{"schema": "nope"}')
+    with pytest.raises(ValueError):
+        load_report(bogus)
+
+
+# -- CLI -------------------------------------------------------------------
+
+
+def _write_sample_report(tmp_path):
+    report = obs_report(
+        _FakeObs(_hub_with_latencies()), meta={"source": "test"}
+    )
+    write_report_artifacts(report, str(tmp_path))
+    return report
+
+
+def test_cli_report_resolves_directory(tmp_path, capsys):
+    _write_sample_report(tmp_path)
+    assert main(["report", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "# source=test" in out
+    assert "mechanism" in out and "rpc" in out
+
+
+def test_cli_report_spans_and_csv(tmp_path, capsys):
+    _write_sample_report(tmp_path)
+    out_csv = tmp_path / "again.csv"
+    code = main([
+        "report", str(tmp_path / REPORT_JSON),
+        "--spans", "--csv", str(out_csv),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "root [" in out
+    assert out_csv.read_text().startswith("mechanism,")
+
+
+def test_cli_report_missing_file_is_an_error(tmp_path, capsys):
+    assert main(["report", str(tmp_path / "absent.json")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_cli_probe_writes_artifacts(tmp_path, capsys):
+    code = main([
+        "probe", "--seed", "1", "--ops", "30",
+        "--out", str(tmp_path), "--spans",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "probe.strong" in out  # span forest printed
+    report = load_report(tmp_path / REPORT_JSON)
+    assert report["meta"]["seed"] == 1
+    assert report["meta"]["ops"] == 30
+    mechs = {r["mechanism"] for r in report["breakdown"]}
+    assert "rpc" in mechs and "stream" in mechs
+    assert (tmp_path / BREAKDOWN_CSV).exists()

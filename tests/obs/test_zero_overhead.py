@@ -1,0 +1,118 @@
+"""The zero-cost-when-disabled guarantee, test-enforced.
+
+Observation is pure host-side bookkeeping: an instrumented run is
+simulation-identical to a bare one, bench artifacts are byte-identical
+with and without ``--obs``, and conformance verdicts/histories do not
+change when a cell runs instrumented.
+"""
+
+import pytest
+
+from repro.bench import harness
+from repro.cluster import Cluster
+from repro.core.namespace_api import Cudele
+from repro.core.policy import SubtreePolicy
+from repro.obs import Observability, observe
+from repro.rados.objects import RadosObject
+
+
+@pytest.fixture(autouse=True)
+def _reset_default_jobs():
+    yield
+    harness._default_jobs = None
+
+
+def _bench_artifacts(dir_path):
+    """Experiment artifacts only: wallclock varies by host, OBS_* is the
+    probe's own output."""
+    return sorted(
+        p for p in dir_path.iterdir()
+        if p.name != "BENCH_wallclock.json"
+        and not p.name.startswith("OBS_")
+    )
+
+
+def test_bench_artifacts_byte_identical_with_obs(tmp_path, monkeypatch,
+                                                 capsys):
+    from repro.bench.__main__ import main
+
+    monkeypatch.setenv("REPRO_SCALE", "tiny")
+    plain = tmp_path / "plain"
+    probed = tmp_path / "obs"
+    assert main(["--json", str(plain), "fig6c"]) == 0
+    assert main(["--json", str(probed), "--obs", "fig6c"]) == 0
+    a, b = _bench_artifacts(plain), _bench_artifacts(probed)
+    assert [p.name for p in a] == [p.name for p in b] == ["fig6c.json"]
+    assert a[0].read_bytes() == b[0].read_bytes()
+    # ...and the probe artifacts landed beside them.
+    assert (probed / "OBS_report.json").exists()
+    assert (probed / "OBS_breakdown.csv").exists()
+    assert not (plain / "OBS_report.json").exists()
+
+
+def _drive_weak_global(cluster):
+    cudele = Cudele(cluster)
+    ns = cluster.run(cudele.decouple(
+        "/w", SubtreePolicy.from_semantics(
+            "weak", "global", allocated_inodes=64
+        ),
+    ))
+    cluster.run(ns.create_many([f"f{i}" for i in range(32)]))
+    cluster.run(ns.finalize())
+    return cluster.now
+
+
+def test_instrumented_run_is_simulation_identical():
+    bare = _drive_weak_global(Cluster(seed=7))
+    cluster = Cluster(seed=7)
+    obs = observe(cluster, profile=True)
+    try:
+        instrumented = _drive_weak_global(cluster)
+    finally:
+        obs.detach()
+    assert instrumented == bare
+    assert len(obs.tracer.spans) > 0
+    assert len(obs.hub) > 0
+
+
+def test_conformance_cell_identical_under_obs():
+    from repro.conformance.driver import run_cell
+
+    bare = run_cell(("strong", "global", 0))
+    instrumented = run_cell(("strong", "global", 0, True))
+    assert instrumented["verdict"] == bare["verdict"]
+    assert instrumented["history"] == bare["history"]
+    assert "obs" not in bare
+    summary = instrumented["obs"]
+    assert summary["span_count"] > 0
+    assert summary["metric_count"] > 0
+    assert any(r["mechanism"] == "rpc" for r in summary["breakdown"])
+
+
+def test_attach_detach_restores_hooks():
+    cluster = Cluster(seed=1)
+    prev_mutate = RadosObject.on_mutate
+    obs = Observability(cluster, profile=True).attach()
+    assert cluster.obs is obs
+    assert cluster.mds.obs is obs
+    assert cluster.engine.sleep_hook is not None
+    with pytest.raises(RuntimeError):
+        obs.attach()
+    obs.detach()
+    assert RadosObject.on_mutate is prev_mutate
+    assert cluster.engine.sleep_hook is None
+    assert cluster.obs is None
+    assert cluster.mds.obs is None
+    assert cluster.objstore.osds[0].obs is None
+    obs.detach()  # idempotent
+
+
+def test_clients_created_after_attach_inherit_obs():
+    cluster = Cluster(seed=1)
+    with Observability(cluster) as obs:
+        client = cluster.new_client()
+        dclient = cluster.new_decoupled_client()
+        assert client.obs is obs
+        assert dclient.obs is obs
+    assert client.obs is None
+    assert dclient.obs is None

@@ -32,7 +32,8 @@ def test_timeseries_window_and_rate():
     for t in range(10):
         ts.record(float(t), 2.0)
     times, vals = ts.window(2.0, 5.0)
-    assert list(times) == [2.0, 3.0, 4.0, 5.0]
+    # Half-open [t0, t1): the sample at 5.0 belongs to the next window.
+    assert list(times) == [2.0, 3.0, 4.0]
     assert ts.rate(0.0, 10.0) == pytest.approx(2.0)
     assert ts.mean() == pytest.approx(2.0)
     assert len(ts) == 10
