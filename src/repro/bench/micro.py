@@ -3,7 +3,7 @@
 The experiment runners report *simulated* time; this module reports how
 fast the **host** chews through simulator work, so performance changes
 to the engine and the bench harness are visible as a tracked trajectory
-instead of anecdotes.  Five throughput probes:
+instead of anecdotes.  Seven throughput probes:
 
 * ``engine_heap_events`` — timeout chains with nonzero delays (the
   heap + pooled-timeout path).
@@ -15,6 +15,10 @@ instead of anecdotes.  Five throughput probes:
   journal.
 * ``journal_replay`` — entries/s replayed into the MDS by the
   ``volatile_apply`` mechanism.
+* ``local_persist_events`` — events/s through the batch Local Persist
+  mechanism (journal snapshot + simulated disk write + bookkeeping).
+* ``segment_scan_events`` — events/s through segment encode plus the
+  verifying recovery scan (the checksummed-recovery hot loop).
 
 Every probe runs ``repeat`` times and keeps the best wall time (least
 host noise).  ``compare_micro`` is the regression gate: it diffs two
@@ -139,6 +143,37 @@ def _bench_journal_replay(ops: int) -> int:
     return ops
 
 
+def _bench_local_persist(ops: int) -> int:
+    # The batch persist path: journal appends, then one local_persist
+    # mechanism run (simulated disk write + the persisted-snapshot
+    # bookkeeping recovery depends on).
+    cluster = _fresh_cluster()
+    client = cluster.new_decoupled_client()
+    names = [f"f{i}" for i in range(ops)]
+    cluster.run(client.create_many("/micro", names))
+    ctx = MechanismContext(cluster, "/micro", client)
+    cluster.run(run_mechanism("local_persist", ctx))
+    assert client.persisted_events == ops
+    return ops
+
+
+def _bench_segment_scan(ops: int) -> int:
+    # Segmented encode plus the verifying scan — pure host work, the
+    # loop every corrupted-recovery path runs over the on-disk image.
+    from repro.journal.events import EventType, JournalEvent
+    from repro.journal.format import JournalCodec
+
+    events = [
+        JournalEvent(EventType.CREATE, f"/micro/f{i}", ino=i + 1,
+                     mtime=0.0, seq=i + 1)
+        for i in range(ops)
+    ]
+    data = JournalCodec.encode_stream(events, segment_events=64)
+    scan = JournalCodec.scan_stream(data)
+    assert scan.ok and len(scan.events) == ops
+    return ops
+
+
 def run_micro(
     scale: Optional[Scale] = None, repeat: int = 3
 ) -> List[MicroResult]:
@@ -156,6 +191,10 @@ def run_micro(
         ("decoupled_creates", "creates",
          lambda: _bench_decoupled_creates(ops)),
         ("journal_replay", "entries", lambda: _bench_journal_replay(ops)),
+        ("local_persist_events", "events",
+         lambda: _bench_local_persist(ops)),
+        ("segment_scan_events", "events",
+         lambda: _bench_segment_scan(ops)),
     ]
     results = []
     for name, unit, fn in probes:

@@ -91,6 +91,15 @@ NET_BANDWIDTH_BPS = 10e9 / 8
 DISK_BANDWIDTH_BPS = 500e6
 DISK_SEEK_S = 100e-6
 
+#: DurableFS-style byte-addressable NVRAM (the optional Local Persist
+#: backend).  Persistent-memory modules stream at a few GB/s and are
+#: addressed at cache-line granularity — no seek, just a ~2 µs access —
+#: but durability needs an explicit cache-line writeback + fence, which
+#: the model charges as a ~5 µs flush barrier per write.
+NVRAM_BANDWIDTH_BPS = 2e9
+NVRAM_ACCESS_S = 2e-6
+NVRAM_FLUSH_S = 5e-6
+
 # --------------------------------------------------------------------------
 # Journal sizes
 # --------------------------------------------------------------------------

@@ -17,7 +17,7 @@ from typing import Generator, Optional, Sequence, Union
 from repro import calibration as cal
 from repro.journal.events import EventType, JournalEvent, WIRE_EVENT_BYTES
 from repro.journal.journaler import LocalJournal
-from repro.sim.disk import Disk
+from repro.sim.disk import Disk, NVRam
 from repro.sim.engine import Engine, Event
 from repro.sim.stats import StatsRegistry
 
@@ -33,6 +33,7 @@ class DecoupledClient:
         client_id: int,
         persist_each: bool = False,
         disk: Optional[Disk] = None,
+        persist_backend: str = "disk",
     ):
         self.engine = engine
         self.client_id = client_id
@@ -45,6 +46,25 @@ class DecoupledClient:
             seek_s=cal.DISK_SEEK_S,
             name=f"{self.name}.disk",
         )
+        #: The device Local Persist (and persist_each) writes through;
+        #: "nvram" swaps in a DurableFS-style persistent-memory profile,
+        #: "disk" (the default) aliases the node's SSD.
+        self.persist_backend = persist_backend
+        if persist_backend == "nvram":
+            self.persist_device: Disk = NVRam(
+                engine,
+                bandwidth_bps=cal.NVRAM_BANDWIDTH_BPS,
+                access_s=cal.NVRAM_ACCESS_S,
+                flush_s=cal.NVRAM_FLUSH_S,
+                name=f"{self.name}.nvram",
+            )
+        elif persist_backend == "disk":
+            self.persist_device = self.disk
+        else:
+            raise ValueError(
+                f"unknown persist backend {persist_backend!r}; "
+                "expected 'disk' or 'nvram'"
+            )
         self.stats = StatsRegistry(engine, self.name)
         #: Inode range provisioned by the MDS (Allocated Inodes contract).
         self.ino_range = None
@@ -57,6 +77,13 @@ class DecoupledClient:
         #: disk dies with it (``crash(lose_disk=True)``).
         self._persisted_events: list = []
         self._persisted_counted = 0
+        #: When a persist fault fired, the damaged bytes Local Persist
+        #: actually left on disk; None means the last persist was clean
+        #: (the common path stays a plain list snapshot — no encoding).
+        self._persisted_image: Optional[bytes] = None
+        #: One-shot armed corruption for the next local persist:
+        #: ``(mode, seed)`` per :mod:`repro.faults.corrupt`.
+        self._armed_persist_fault: Optional[tuple] = None
         #: Conformance history recorder (see ``repro.conformance``);
         #: None keeps the append path unobserved.
         self.recorder = None
@@ -123,7 +150,7 @@ class DecoupledClient:
                 yield self.engine.sleep(self._op_time(n))
                 self.counted_ops += n
                 if self.persist_each:
-                    yield from self.disk.write(n * WIRE_EVENT_BYTES)
+                    yield from self.persist_device.write(n * WIRE_EVENT_BYTES)
                     self.note_local_persist()
                 self.stats.counter("ops").incr(n)
                 self._obs_record("create", n, t0)
@@ -153,7 +180,7 @@ class DecoupledClient:
             if rec is not None:
                 rec.record_complete(self.name, op_ids, True, events=appended)
             if self.persist_each:
-                yield from self.disk.write(len(names) * WIRE_EVENT_BYTES)
+                yield from self.persist_device.write(len(names) * WIRE_EVENT_BYTES)
                 self.note_local_persist()
             self.stats.counter("ops").incr(len(names))
             self._obs_record("create", len(names), t0)
@@ -182,7 +209,7 @@ class DecoupledClient:
         if rec is not None:
             rec.record_complete(self.name, op_ids, True, events=[ev])
         if self.persist_each:
-            yield from self.disk.write(WIRE_EVENT_BYTES)
+            yield from self.persist_device.write(WIRE_EVENT_BYTES)
             self.note_local_persist()
         self.stats.counter("ops").incr(1)
         self._obs_record("mkdir", 1, t0)
@@ -204,7 +231,7 @@ class DecoupledClient:
         if rec is not None:
             rec.record_complete(self.name, op_ids, True, events=[ev])
         if self.persist_each:
-            yield from self.disk.write(WIRE_EVENT_BYTES)
+            yield from self.persist_device.write(WIRE_EVENT_BYTES)
             self.note_local_persist()
         self.stats.counter("ops").incr(1)
         self._obs_record("unlink", 1, t0)
@@ -226,7 +253,7 @@ class DecoupledClient:
         if rec is not None:
             rec.record_complete(self.name, op_ids, True, events=[ev])
         if self.persist_each:
-            yield from self.disk.write(WIRE_EVENT_BYTES)
+            yield from self.persist_device.write(WIRE_EVENT_BYTES)
             self.note_local_persist()
         self.stats.counter("ops").incr(1)
         self._obs_record("rename", 1, t0)
@@ -243,6 +270,14 @@ class DecoupledClient:
         """Updates currently safe on this client's local disk."""
         return len(self._persisted_events) + self._persisted_counted
 
+    def arm_persist_fault(self, mode: str, seed: int) -> None:
+        """Arm the next local persist to land corrupted (one-shot).
+
+        The fault injector calls this; :mod:`repro.faults.corrupt`
+        defines what each ``mode`` does to the on-disk bytes.
+        """
+        self._armed_persist_fault = (mode, seed)
+
     def note_local_persist(self) -> None:
         """Record that Local Persist just wrote the journal to disk.
 
@@ -252,13 +287,36 @@ class DecoupledClient:
         """
         self._persisted_events = list(self.journal.events)
         self._persisted_counted = self.counted_ops
+        self._persisted_image = None
         self.stats.counter("local_persists").incr()
         if self.recorder is not None:
             self.recorder.record_local_persist(self)
+        if self._armed_persist_fault is not None:
+            mode, seed = self._armed_persist_fault
+            self._armed_persist_fault = None
+            self._apply_persist_fault(mode, seed)
         if self.obs is not None:
             self.obs.hub.counter(
                 "local_persists", daemon=self.name, mechanism="local_persist"
             ).incr()
+
+    def _apply_persist_fault(self, mode: str, seed: int) -> None:
+        """The armed crash fired mid-persist: what reached the disk is a
+        damaged image, and only its checksummed-valid prefix survives."""
+        if not self.journal.events:
+            return
+        from repro.faults.corrupt import corrupt_stream
+        from repro.journal.format import JournalCodec
+
+        damaged = corrupt_stream(self.journal.serialize(), mode, seed)
+        scan = JournalCodec.scan_stream(damaged)
+        self._persisted_image = damaged
+        self._persisted_events = list(scan.events)
+        self.stats.counter("persist_faults").incr()
+        if self.recorder is not None:
+            self.recorder.record_persist_fault(
+                self, scope="local", mode=mode, scan=scan
+            )
 
     def crash(self, lose_disk: bool = False) -> int:
         """Simulate a client crash: the in-memory journal is lost.
@@ -279,21 +337,53 @@ class DecoupledClient:
         if lose_disk:
             self._persisted_events = []
             self._persisted_counted = 0
+            self._persisted_image = None
         self.stats.counter("crashes").incr()
         if self.recorder is not None:
             self.recorder.record_crash(self.name, lose_disk=lose_disk, lost=lost)
         return lost
 
     # -- recovery (process bodies) ------------------------------------------
+    def _scan_image(self, data: bytes, source: str):
+        """Run the verifying recovery scan over a persisted image (the
+        only thing recovery may trust), instrumented when obs is on."""
+        from repro.journal.format import JournalCodec
+
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.tracer.start(
+                "recover.scan", daemon=self.name, mechanism="recovery",
+                source=source,
+            )
+        scan = JournalCodec.scan_stream(data)
+        if span is not None:
+            obs.tracer.end(span)
+            obs.hub.histogram(
+                "recovery_scan_events", daemon=self.name,
+                mechanism="recovery", source=source,
+            ).observe(len(scan.events))
+            if scan.damage is not None:
+                obs.hub.counter(
+                    "recovery_scan_damage", daemon=self.name,
+                    mechanism="recovery", damage=scan.damage,
+                ).incr()
+        return scan
+
     def recover_local(self) -> Generator[Event, None, int]:
         """Re-read the locally persisted journal image from disk.
 
         The 'local' durability recovery path: "updates survive if the
         client node recovers and reads local storage".  Returns the
-        number of updates restored into the in-memory journal.
+        number of updates restored into the in-memory journal.  When the
+        last persist was damaged, recovery trusts only what the
+        verifying scan salvages from the on-disk image.
         """
+        if self._persisted_image is not None:
+            scan = self._scan_image(self._persisted_image, source="local-disk")
+            self._persisted_events = list(scan.events)
         n = self.persisted_events
-        yield from self.disk.read(n * WIRE_EVENT_BYTES)
+        yield from self.persist_device.read(n * WIRE_EVENT_BYTES)
         self.journal.restore(self._persisted_events)
         self.counted_ops = self._persisted_counted
         self.stats.counter("recoveries").incr()
@@ -307,11 +397,13 @@ class DecoupledClient:
         Reads the striped journal object back from the object store —
         works even after the client node (disk included) and the MDS's
         memory are both gone, which is exactly the 'global' guarantee.
+        The read-back bytes go through the verifying scan: a corrupted
+        object yields only its checksummed-valid prefix.
         """
         data = yield self.engine.process(striper.read_all(dst=self.name))
-        recovered = LocalJournal.deserialize(
-            self.engine, data, client_id=self.client_id
-        )
+        scan = self._scan_image(data, source="object-store")
+        recovered = LocalJournal(self.engine, client_id=self.client_id)
+        recovered.restore(scan.events)
         self.journal = recovered
         self.stats.counter("recoveries").incr()
         if self.recorder is not None:

@@ -141,11 +141,14 @@ class Cluster:
         self._clients.append(client)
         return client
 
-    def new_decoupled_client(self, persist_each: bool = False) -> DecoupledClient:
+    def new_decoupled_client(
+        self, persist_each: bool = False, persist_backend: str = "disk"
+    ) -> DecoupledClient:
         client = DecoupledClient(
             self.engine,
             client_id=1000 + len(self._dclients) + 1,
             persist_each=persist_each,
+            persist_backend=persist_backend,
         )
         if self.recorder is not None:
             client.recorder = self.recorder

@@ -3,7 +3,10 @@
 Runs every requested (consistency, durability) cell of the semantics
 matrix under a fixed seed, checks each recorded history with the
 conformance oracle and writes a canonical JSON verdict artifact.
-Exit status 0 means every cell conformed.
+``--corruption`` runs the corrupted-recovery drill instead: every
+durability scope crossed with every persist fault mode (torn, reorder,
+partial, bitflip), recovery held to the damaged image's
+checksummed-valid prefix.  Exit status 0 means every cell conformed.
 """
 
 from __future__ import annotations
@@ -12,7 +15,13 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro.conformance.driver import CELLS, report_json, run_matrix
+from repro.conformance.driver import (
+    CELLS,
+    CORRUPTION_CELLS,
+    report_json,
+    run_corruption_drill,
+    run_matrix,
+)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -28,7 +37,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         "output is byte-identical at any value)")
     parser.add_argument("--cell", action="append", metavar="C:D",
                         help="restrict to a cell like strong:global "
-                        "(repeatable; default: all nine)")
+                        "(repeatable; default: all nine); with "
+                        "--corruption, durability:mode like local:torn")
+    parser.add_argument("--corruption", action="store_true",
+                        help="run the corrupted-recovery drill "
+                        "(durability x fault mode) instead of the "
+                        "semantics matrix")
     parser.add_argument("--out", metavar="FILE",
                         help="write the JSON verdict artifact here")
     parser.add_argument("--histories", action="store_true",
@@ -40,30 +54,54 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         "are unchanged")
     args = parser.parse_args(argv)
 
-    cells = list(CELLS)
+    known = CORRUPTION_CELLS if args.corruption else CELLS
+    cells = list(known)
     if args.cell:
         cells = []
         for spec in args.cell:
-            c, _, d = spec.partition(":")
-            if (c, d) not in CELLS:
+            a, _, b = spec.partition(":")
+            if (a, b) not in known:
+                if args.corruption:
+                    parser.error(
+                        f"unknown drill cell {spec!r}; expected "
+                        "durability:mode from none/local/global x "
+                        "torn/reorder/partial/bitflip"
+                    )
                 parser.error(
                     f"unknown cell {spec!r}; expected consistency:durability "
                     "from invisible/weak/strong x none/local/global"
                 )
-            cells.append((c, d))
+            cells.append((a, b))
 
-    report = run_matrix(seed=args.seed, jobs=args.jobs, cells=cells,
-                        obs=args.obs)
-    for verdict in report["cells"]:
-        status = "ok" if verdict["ok"] else "FAIL"
-        print(
-            f"{verdict['consistency']:>9}/{verdict['durability']:<6} "
-            f"events={verdict['events']:4d} {status}"
+    if args.corruption:
+        report = run_corruption_drill(
+            seed=args.seed, jobs=args.jobs, cells=cells, obs=args.obs
         )
-        for violation in verdict["violations"]:
-            print(f"    {violation['code']}: {violation['message']}")
-    print(f"matrix seed={report['seed']}: "
-          + ("all cells conform" if report["ok"] else "violations found"))
+        for verdict in report["cells"]:
+            status = "ok" if verdict["ok"] else "FAIL"
+            print(
+                f"{verdict['durability']:>7}/{verdict['fault_mode']:<8} "
+                f"events={verdict['events']:4d} {status}"
+            )
+            for violation in verdict["violations"]:
+                print(f"    {violation['code']}: {violation['message']}")
+        print(f"corruption drill seed={report['seed']}: "
+              + ("all cells conform" if report["ok"]
+                 else "violations found"))
+    else:
+        report = run_matrix(seed=args.seed, jobs=args.jobs, cells=cells,
+                            obs=args.obs)
+        for verdict in report["cells"]:
+            status = "ok" if verdict["ok"] else "FAIL"
+            print(
+                f"{verdict['consistency']:>9}/{verdict['durability']:<6} "
+                f"events={verdict['events']:4d} {status}"
+            )
+            for violation in verdict["violations"]:
+                print(f"    {violation['code']}: {violation['message']}")
+        print(f"matrix seed={report['seed']}: "
+              + ("all cells conform" if report["ok"]
+                 else "violations found"))
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(report_json(report, with_histories=args.histories))

@@ -48,6 +48,8 @@ VIOLATION_CODES = (
     "durability-local-phantom",
     "durability-global-lost",
     "durability-global-phantom",
+    "corrupt-recovery-lost",
+    "corrupt-recovery-overrun",
     "model-divergence",
 )
 
@@ -150,6 +152,14 @@ def _check_wellformed(history: History, out: List[Violation]) -> None:
                     t=e.t, path=e.path,
                 ))
             persist_marks[key] = max(mark, e.seq)
+        elif e.kind == "persist_fault":
+            # The damaged image supersedes the claims just recorded: a
+            # later clean persist legitimately re-claims from the valid
+            # prefix, so the in-order watermark rolls back with it.
+            key = (e.actor, e.scope or "")
+            valid_seq = e.detail.get("valid_seq", 0)
+            if valid_seq < persist_marks.get(key, 0):
+                persist_marks[key] = valid_seq
 
 
 def _note_alloc(
@@ -287,19 +297,39 @@ def _check_durability(
     For the owner (decoupled) client the scope is the scenario's
     durability level; for an MDS the journal lives in the object store,
     so its replay is always held to the *global* prefix.
+
+    A ``persist_fault`` record caps the scope's persisted set at the
+    damaged image's checksummed-valid prefix: recovery from that image
+    must restore exactly the prefix (``corrupt-recovery-lost`` /
+    ``corrupt-recovery-overrun`` otherwise).  A later clean persist of
+    anything beyond the valid prefix lifts the cap — the damaged image
+    was overwritten by an intact one.
     """
     persisted: Dict[Tuple[str, str], Dict[int, str]] = {}
     recovered: Dict[str, List[HistoryEvent]] = {}
     crashed: Dict[str, Dict] = {}
+    #: Active damage per (actor, scope): the fault's valid_seq cap.
+    faulted: Dict[Tuple[str, str], int] = {}
     for e in history:
         if e.kind == "persisted" and e.seq is not None:
-            persisted.setdefault((e.actor, e.scope or ""), {})[e.seq] = \
-                e.path or ""
+            key = (e.actor, e.scope or "")
+            persisted.setdefault(key, {})[e.seq] = e.path or ""
+            if key in faulted and e.seq > faulted[key]:
+                del faulted[key]
+        elif e.kind == "persist_fault":
+            key = (e.actor, e.scope or "")
+            valid_seq = e.detail.get("valid_seq", 0)
+            faulted[key] = valid_seq
+            claims = persisted.get(key)
+            if claims is not None:
+                for seq in [s for s in claims if s > valid_seq]:
+                    del claims[seq]
         elif e.kind == "crash":
             crashed[e.actor] = e.detail
             recovered[e.actor] = []
             if e.detail.get("lose_disk"):
                 persisted.pop((e.actor, "local"), None)
+                faulted.pop((e.actor, "local"), None)
         elif e.kind == "recovered":
             recovered.setdefault(e.actor, []).append(e)
         elif e.kind == "recover":
@@ -313,6 +343,7 @@ def _check_durability(
                 _compare_recovery(
                     e, got, persisted.get((e.actor, "global"), {}),
                     "global", out,
+                    corrupted=(e.actor, "global") in faulted,
                 )
             elif e.actor == owner:
                 if durability == "none":
@@ -328,6 +359,7 @@ def _check_durability(
                         e, got,
                         persisted.get((e.actor, durability), {}),
                         durability, out,
+                        corrupted=(e.actor, durability) in faulted,
                     )
             crashed.pop(e.actor, None)
             recovered.pop(e.actor, None)
@@ -336,25 +368,53 @@ def _check_durability(
 def _compare_recovery(
     marker: HistoryEvent, got: Dict[int, str], expected: Dict[int, str],
     scope: str, out: List[Violation],
+    corrupted: bool = False,
 ) -> None:
+    """Hold recovered updates to the persisted set.
+
+    When the image recovery read was damaged (``corrupted``), the
+    expected set is already capped at the checksummed-valid prefix and
+    the mismatch codes change: losing part of the *valid* prefix is
+    ``corrupt-recovery-lost``; restoring anything past it means recovery
+    trusted bytes whose checksums cannot vouch for them
+    (``corrupt-recovery-overrun``).
+    """
     missing = sorted(set(expected) - set(got))
     extra = sorted(set(got) - set(expected))
     if missing:
         paths = ", ".join(expected[s] for s in missing[:3])
-        out.append(Violation(
-            f"durability-{scope}-lost",
-            f"{marker.actor} recovery lost {len(missing)} {scope}ly "
-            f"persisted updates (e.g. {paths})",
-            t=marker.t,
-        ))
+        if corrupted:
+            out.append(Violation(
+                "corrupt-recovery-lost",
+                f"{marker.actor} recovery from a damaged {scope} image "
+                f"lost {len(missing)} updates of the checksummed-valid "
+                f"prefix (e.g. {paths})",
+                t=marker.t,
+            ))
+        else:
+            out.append(Violation(
+                f"durability-{scope}-lost",
+                f"{marker.actor} recovery lost {len(missing)} {scope}ly "
+                f"persisted updates (e.g. {paths})",
+                t=marker.t,
+            ))
     if extra:
         paths = ", ".join(got[s] for s in extra[:3])
-        out.append(Violation(
-            f"durability-{scope}-phantom",
-            f"{marker.actor} recovery produced {len(extra)} updates never "
-            f"{scope}ly persisted (e.g. {paths})",
-            t=marker.t,
-        ))
+        if corrupted:
+            out.append(Violation(
+                "corrupt-recovery-overrun",
+                f"{marker.actor} recovery from a damaged {scope} image "
+                f"restored {len(extra)} updates past the checksummed-"
+                f"valid prefix (e.g. {paths})",
+                t=marker.t,
+            ))
+        else:
+            out.append(Violation(
+                f"durability-{scope}-phantom",
+                f"{marker.actor} recovery produced {len(extra)} updates "
+                f"never {scope}ly persisted (e.g. {paths})",
+                t=marker.t,
+            ))
 
 
 # ---------------------------------------------------------------------------

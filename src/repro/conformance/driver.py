@@ -37,13 +37,15 @@ from repro.conformance.recorder import HistoryRecorder
 from repro.core.mechanisms import MechanismContext, run_mechanism
 from repro.core.namespace_api import Cudele
 from repro.core.policy import SubtreePolicy
-from repro.faults import FaultInjector, FaultPlan
+from repro.faults import PERSIST_FAULT_MODES, FaultInjector, FaultPlan
 from repro.mds.server import MDSConfig
 from repro.sim.rng import RngStream
 
 __all__ = [
     "CELLS", "CONSISTENCIES", "DURABILITIES", "SUBTREE",
+    "CORRUPTION_CELLS",
     "run_cell", "run_matrix", "report_json",
+    "run_corruption_cell", "run_corruption_drill",
 ]
 
 CONSISTENCIES = ("invisible", "weak", "strong")
@@ -57,6 +59,12 @@ SUBTREE = "/job"
 BURST_OPS = 12
 #: Small segments so MDS journal writes land mid-run, not only at flush.
 SEGMENT_EVENTS = 16
+#: The corruption drill: every durability scope crossed with every
+#: persist fault mode (durability 'none' persists nothing — its row
+#: proves the armed fault stays a no-op).
+CORRUPTION_CELLS: Tuple[Tuple[str, str], ...] = tuple(
+    (d, m) for d in DURABILITIES for m in PERSIST_FAULT_MODES
+)
 
 
 def _run_burst(cluster, worker, rng: RngStream, tracked: List[str],
@@ -170,6 +178,109 @@ def run_cell(task: Tuple) -> Dict:
         if obs is not None:
             obs.detach()
         recorder.detach()
+
+
+def run_corruption_cell(task: Tuple) -> Dict:
+    """One corrupted-recovery drill cell: ``(durability, mode, seed[,
+    obs])`` under invisible consistency.
+
+    The owner runs a seeded burst, the injector arms the cell's persist
+    fault, the durability mechanism persists *through* the fault (the
+    image lands damaged), the owner crashes and recovers — and the
+    checkers hold the recovered state to exactly the damaged image's
+    checksummed-valid prefix.  Like :func:`run_cell`, top-level and
+    picklable, with no wall-clock state in the output.
+    """
+    durability, mode, seed = task[:3]
+    with_obs = bool(task[3]) if len(task) > 3 else False
+    cluster = Cluster(
+        seed=seed, mds_config=MDSConfig(segment_events=SEGMENT_EVENTS)
+    )
+    recorder = HistoryRecorder.attach(cluster)
+    obs = None
+    if with_obs:
+        from repro.obs import Observability
+
+        obs = Observability(cluster).attach()
+    try:
+        cudele = Cudele(cluster)
+        boot = cluster.new_client()
+        cluster.run(boot.mkdir(SUBTREE))
+        policy = SubtreePolicy.from_semantics(
+            "invisible", durability, allocated_inodes=2048
+        )
+        ns = cluster.run(cudele.decouple(SUBTREE, policy))
+        worker = ns.dclient
+        owner = worker.name
+
+        rng = RngStream(seed, f"conformance/corrupt/{durability}/{mode}")
+        tracked: List[str] = []
+        _run_burst(cluster, worker, rng, tracked, 0)
+
+        scope = "global" if durability == "global" else "local"
+        plan = FaultPlan().persist_fault(
+            cluster.now + 0.001, owner, mode, seed=seed, scope=scope
+        )
+        FaultInjector(cluster, plan).start()
+        cluster.run()
+
+        _run_persist(cluster, ns, durability)
+        _crash_recover(
+            cluster, owner,
+            mode="global" if durability == "global" else "local",
+            lose_disk=(durability == "global"),
+        )
+        recorder.record_snapshot(cluster.mds, SUBTREE)
+
+        verdict = check_history(
+            recorder.history, "invisible", durability,
+            subtree=SUBTREE, owner=owner,
+        )
+        verdict["seed"] = seed
+        verdict["fault_mode"] = mode
+        result = {"verdict": verdict, "history": recorder.history.canonical()}
+        if obs is not None:
+            from repro.obs.report import breakdown_rows
+
+            result["obs"] = {
+                "breakdown": breakdown_rows(obs.hub),
+                "span_count": len(obs.tracer.spans),
+                "metric_count": len(obs.hub),
+            }
+        return result
+    finally:
+        if obs is not None:
+            obs.detach()
+        recorder.detach()
+
+
+def run_corruption_drill(
+    seed: int = 0,
+    jobs: Optional[int] = None,
+    cells: Sequence[Tuple[str, str]] = CORRUPTION_CELLS,
+    obs: bool = False,
+) -> Dict:
+    """Run the corrupted-recovery drill (durability x fault mode) under
+    one seed; byte-identical across repeats and ``--jobs`` fan-out."""
+    tasks = [(d, m, seed, obs) for (d, m) in cells]
+    results = parallel_map(run_corruption_cell, tasks, jobs=jobs)
+    report = {
+        "seed": seed,
+        "subtree": SUBTREE,
+        "drill": "corruption",
+        "ok": all(r["verdict"]["ok"] for r in results),
+        "cells": [r["verdict"] for r in results],
+        "histories": {
+            f"{d}/{m}": r["history"]
+            for (d, m), r in zip(cells, results)
+        },
+    }
+    if obs:
+        report["obs"] = {
+            f"{d}/{m}": r["obs"]
+            for (d, m), r in zip(cells, results)
+        }
+    return report
 
 
 def run_matrix(

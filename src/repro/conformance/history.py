@@ -20,6 +20,12 @@ Event kinds
 ``persisted``
     The update reached stable storage; ``scope`` says which kind
     ("local" = the client's own disk, "global" = the object store).
+``persist_fault``
+    A persist landed damaged (torn/reordered/partial/bit-flipped, per
+    :mod:`repro.faults.corrupt`): ``detail`` carries the fault ``mode``
+    plus the ``valid_seq``/``valid_events`` of the longest
+    checksummed-valid prefix — the most recovery may restore from this
+    image, superseding the full claims recorded just before it.
 ``merge_begin`` / ``merge_end``
     A client journal is being replayed at the MDS (Volatile Apply).
 ``crash`` / ``recover``
@@ -50,6 +56,7 @@ KINDS = (
     "complete",
     "visible",
     "persisted",
+    "persist_fault",
     "merge_begin",
     "merge_end",
     "crash",

@@ -261,6 +261,29 @@ class HistoryRecorder:
             mark = ev.seq
         self._persist_marks[(dclient.name, scope)] = mark
 
+    def record_persist_fault(
+        self, dclient: "DecoupledClient", scope: str, mode: str, scan
+    ) -> None:
+        """A persist landed damaged: the on-media image verifies only up
+        to ``scan``'s valid prefix.  Caps the just-recorded persisted
+        claims and rolls the scope's watermark back so a later *clean*
+        persist re-claims the updates the damaged image lost."""
+        events = scan.events
+        valid_seq = events[-1].seq if events else 0
+        self._emit(
+            kind="persist_fault", actor=dclient.name, scope=scope,
+            client=dclient.client_id,
+            detail={
+                "damage": scan.damage,
+                "mode": mode,
+                "valid_events": len(events),
+                "valid_seq": valid_seq,
+            },
+        )
+        mark = self._persist_marks.get((dclient.name, scope), 0)
+        if valid_seq < mark:
+            self._persist_marks[(dclient.name, scope)] = valid_seq
+
     # -- object layer ------------------------------------------------------
     def _on_object_mutate(self, obj: RadosObject, action: str, nbytes: int) -> None:
         """Bytes landed in (an OSD's copy of) an object.

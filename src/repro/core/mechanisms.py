@@ -209,9 +209,9 @@ def mech_local_persist(ctx: MechanismContext) -> Generator[Event, None, None]:
         return
     yield Timeout(ctx.engine, n * cal.PERSIST_FORMAT_S)
     if len(ctx.dclient.journal):
-        yield from ctx.dclient.journal.persist_local(ctx.dclient.disk)
+        yield from ctx.dclient.journal.persist_local(ctx.dclient.persist_device)
     if ctx.counted:
-        yield from ctx.dclient.disk.write(ctx.counted * WIRE_EVENT_BYTES)
+        yield from ctx.dclient.persist_device.write(ctx.counted * WIRE_EVENT_BYTES)
     # The image is on disk now: a plain client crash can no longer lose
     # these updates (crash recovery reads them back via recover_local).
     ctx.dclient.note_local_persist()

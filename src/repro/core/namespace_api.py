@@ -184,7 +184,10 @@ class Cudele:
         check_plan(policy.plan, raise_on_error=True)
         self._ensure_path(path)
         if policy.is_decoupled and dclient is None:
-            dclient = self.cluster.new_decoupled_client(persist_each=persist_each)
+            dclient = self.cluster.new_decoupled_client(
+                persist_each=persist_each,
+                persist_backend=policy.persist_backend,
+            )
         if dclient is not None:
             policy.owner_client = dclient.client_id
         version = yield self.cluster.engine.process(

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.dsl import parse_composition
-from repro.core.semantics import Consistency, Durability
+from repro.core.semantics import Consistency, Durability, PersistBackend
 
 __all__ = [
     "SubtreePolicy",
@@ -120,6 +120,11 @@ class SubtreePolicy:
     #: readers see the last committed file size without recalling the
     #: writer's buffering capability (fast but possibly stale).
     read_lazy: bool = False
+    #: Device Local Persist writes through: "disk" (the node's SSD, the
+    #: default) or "nvram" (DurableFS-style persistent memory — see
+    #: :class:`~repro.core.semantics.PersistBackend`).  Global Persist
+    #: always targets the object store regardless of this field.
+    persist_backend: str = "disk"
     #: The client that decoupled this subtree (set by the namespace API).
     owner_client: Optional[int] = None
 
@@ -135,6 +140,7 @@ class SubtreePolicy:
             )
         if self.allocated_inodes < 0:
             raise ValueError("allocated_inodes must be >= 0")
+        PersistBackend.parse(self.persist_backend)
 
     # -- derived views -----------------------------------------------------
     @property

@@ -12,13 +12,27 @@ Durability
     * ``LOCAL`` — "updates will be retained if the client node recovers
       and reads the updates from local storage".
     * ``GLOBAL`` — "all updates are always recoverable".
+
+Persist backend
+    Local durability additionally names *where* the persisted journal
+    image lands (``SubtreePolicy.persist_backend``):
+
+    * ``DISK`` — the client node's SSD (the default; the paper's
+      CloudLab configuration).
+    * ``NVRAM`` — byte-addressable persistent memory in the client
+      node, DurableFS-style: microsecond access, higher bandwidth, and
+      an explicit flush barrier per persist instead of a seek.
+
+    Global durability always targets the object store; the backend only
+    chooses the device Local Persist (and per-record ``persist_each``)
+    writes through.
 """
 
 from __future__ import annotations
 
 import enum
 
-__all__ = ["Consistency", "Durability"]
+__all__ = ["Consistency", "Durability", "PersistBackend"]
 
 
 class Consistency(enum.Enum):
@@ -63,3 +77,20 @@ class Durability(enum.Enum):
     def __lt__(self, other: "Durability") -> bool:
         order = [Durability.NONE, Durability.LOCAL, Durability.GLOBAL]
         return order.index(self) < order.index(other)
+
+
+class PersistBackend(enum.Enum):
+    """Where the locally persisted journal image lands."""
+
+    DISK = "disk"
+    NVRAM = "nvram"
+
+    @classmethod
+    def parse(cls, text: str) -> "PersistBackend":
+        try:
+            return cls(text.strip().lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown persist backend {text!r}; "
+                f"expected one of {[b.value for b in cls]}"
+            ) from None

@@ -6,7 +6,14 @@ the fault model (what each component loses on a crash, and which
 durability mechanism gets it back).
 """
 
+from repro.faults.corrupt import PERSIST_FAULT_MODES, corrupt_stream
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import Fault, FaultPlan
 
-__all__ = ["Fault", "FaultPlan", "FaultInjector"]
+__all__ = [
+    "Fault",
+    "FaultPlan",
+    "FaultInjector",
+    "PERSIST_FAULT_MODES",
+    "corrupt_stream",
+]

@@ -104,6 +104,11 @@ class FaultInjector:
             return
 
         component = self.resolve(fault.target)
+        if fault.action == "persist_fault":
+            detail = self._arm_persist_fault(component, fault)
+            self.stats.counter("persist_faults").incr()
+            self._log(fault, detail)
+            return
         if fault.action == "crash":
             detail = self._crash(component, fault)
             self.stats.counter("crashes").incr()
@@ -136,6 +141,59 @@ class FaultInjector:
             return f"journal_events_lost={lost}"
         component.crash()  # rpc Client: soft state only
         return "client down"
+
+    def _arm_persist_fault(self, component, fault: Fault) -> str:
+        """Arm the next persist by ``component`` to land corrupted.
+
+        Local scope arms the decoupled client's own persist path; global
+        scope arms every OSD so the client's striped-journal write is
+        corrupted identically on each replica (same mode+seed => same
+        bytes, so replicas never diverge).
+        """
+        if type(component).__name__ != "DecoupledClient":
+            raise ValueError(
+                f"persist_fault targets decoupled clients, not "
+                f"{fault.target!r}"
+            )
+        mode = fault.params["mode"]
+        seed = fault.params.get("seed", 0)
+        scope = fault.params.get("scope", "local")
+        if scope == "local":
+            component.arm_persist_fault(mode, seed)
+            return f"armed mode={mode} scope=local"
+        notify = self._persist_fault_notifier(component, mode)
+        prefix = f"{component.name}.journal."
+        osds = self.cluster.objstore.osds
+        for osd in osds:
+            osd.arm_write_fault(mode, seed, match=prefix, notify=notify)
+        return f"armed mode={mode} scope=global osds={len(osds)}"
+
+    def _persist_fault_notifier(self, dclient, mode: str):
+        """Callback the OSD write path fires after storing the corrupted
+        object.  Every replica stores the same damaged bytes and fires
+        it; the *last* replica's call scans what landed and reports the
+        surviving valid prefix to the history recorder — after all the
+        replica mutate hooks have emitted their (idempotent) persisted
+        claims, so the fault record lands once, at the end."""
+        calls: List[str] = []
+
+        def notify(name: str, stored: bytes) -> None:
+            calls.append(name)
+            if len(calls) != len(
+                self.cluster.objstore.placement("metadata", name)
+            ):
+                return
+            recorder = getattr(self.cluster, "recorder", None)
+            if recorder is None:
+                return
+            from repro.journal.format import JournalCodec
+
+            scan = JournalCodec.scan_stream(stored)
+            recorder.record_persist_fault(
+                dclient, scope="global", mode=mode, scan=scan
+            )
+
+        return notify
 
     def _recover(self, component, fault: Fault) -> Generator[Event, None, str]:
         kind = type(component).__name__

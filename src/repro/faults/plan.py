@@ -17,12 +17,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Sequence
 
+from repro.faults.corrupt import PERSIST_FAULT_MODES
 from repro.sim.rng import RngStream
 
 __all__ = ["Fault", "FaultPlan"]
 
 #: Actions an injector knows how to execute.
-ACTIONS = ("crash", "recover", "partition", "heal")
+ACTIONS = ("crash", "recover", "partition", "heal", "persist_fault")
+
+#: Scopes a persist fault can arm (which durability backend it hits).
+PERSIST_FAULT_SCOPES = ("local", "global")
 
 
 @dataclass(frozen=True)
@@ -94,6 +98,34 @@ class FaultPlan:
     def heal(self, time: float, a: str, b: str) -> "FaultPlan":
         """Repair the network pair ``a``<->``b`` at ``time``."""
         return self._add(time, "heal", f"{a}|{b}", a=a, b=b)
+
+    def persist_fault(
+        self,
+        time: float,
+        target: str,
+        mode: str,
+        seed: int = 0,
+        scope: str = "local",
+    ) -> "FaultPlan":
+        """Arm the *next* persist by ``target`` (a decoupled client) to
+        land corrupted: ``mode`` picks the physical damage (see
+        :data:`~repro.faults.corrupt.PERSIST_FAULT_MODES`), ``scope``
+        picks the backend it hits ("local" = the client's own persist
+        device, "global" = the striped journal write on every OSD
+        replica), and ``seed`` makes the damage bytes deterministic."""
+        if mode not in PERSIST_FAULT_MODES:
+            raise ValueError(
+                f"unknown persist fault mode {mode!r}; "
+                f"known: {PERSIST_FAULT_MODES}"
+            )
+        if scope not in PERSIST_FAULT_SCOPES:
+            raise ValueError(
+                f"unknown persist fault scope {scope!r}; "
+                f"known: {PERSIST_FAULT_SCOPES}"
+            )
+        return self._add(
+            time, "persist_fault", target, mode=mode, seed=seed, scope=scope
+        )
 
     def sorted_faults(self) -> List[Fault]:
         """The schedule in execution order (time, then insertion order)."""

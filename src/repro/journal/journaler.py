@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Generator, List, Optional
 
 from repro.journal.events import JournalEvent, WIRE_EVENT_BYTES
-from repro.journal.format import JournalCodec, JournalFormatError
+from repro.journal.format import JournalCodec, JournalScan
 from repro.rados.striper import Striper
 from repro.sim.disk import Disk
 from repro.sim.engine import Engine, Event
@@ -144,6 +144,7 @@ class Journaler:
         self._next_seq = 1
         self._write_offset = 0
         self._header_written = False
+        self._next_segment_seq = 1
         self.events_journaled = 0
         self.segments_dispatched = 0
         self.expired_through_seq = 0
@@ -175,13 +176,20 @@ class Journaler:
         seg = self.take_segment() if events is None else events
         if not seg:
             return 0
+        # Each dispatch is one checksummed wire segment; the first also
+        # carries the stream header.  Sequence numbers are claimed here,
+        # before yielding, so concurrent dispatches (the MDS dispatch
+        # window) number segments in the same order as their reserved
+        # byte offsets — recovery checks that order.
+        seg_seq = self._next_segment_seq
+        self._next_segment_seq += 1
         if not self._header_written:
-            data = JournalCodec.encode_stream(seg)
+            data = JournalCodec.encode_stream(seg, first_seq=seg_seq)
             self._header_written = True
         else:
-            data = b"".join(JournalCodec.encode_event(e) for e in seg)
-        # Reserve the offset before yielding: concurrent dispatches (the
-        # MDS dispatch window) must not write over each other.
+            data = JournalCodec.encode_segment(seg_seq, seg)
+        # Reserve the offset before yielding: concurrent dispatches must
+        # not write over each other.
         offset = self._write_offset
         self._write_offset += len(data)
         factor = (len(seg) * WIRE_EVENT_BYTES) / max(1, len(data))
@@ -194,19 +202,22 @@ class Journaler:
         n = yield self.engine.process(self.dispatch_segment())
         return n
 
-    def read_all(self, dst: str = "client") -> Generator[Event, None, List[JournalEvent]]:
-        """Recovery read: fetch and decode the whole striped journal.
+    def read_scan(self, dst: str = "client") -> Generator[Event, None, "JournalScan"]:
+        """Recovery read: fetch the striped journal and run the verifying
+        scan, returning the full :class:`JournalScan` (valid-prefix
+        events plus damage classification).
 
         Journals written in counted-only mode (performance runs) carry
-        placeholder bytes, not decodable events; they read back empty.
+        placeholder bytes, not decodable events; they scan as damaged
+        with no recoverable events.
         """
         data = yield self.engine.process(self.striper.read_all(dst=dst))
-        if not data:
-            return []
-        try:
-            return JournalCodec.decode_stream(data, tolerate_truncation=True)
-        except JournalFormatError:
-            return []
+        return JournalCodec.scan_stream(data)
+
+    def read_all(self, dst: str = "client") -> Generator[Event, None, List[JournalEvent]]:
+        """Recovery read returning only the checksummed-valid prefix."""
+        scan = yield self.engine.process(self.read_scan(dst=dst))
+        return scan.events
 
     def trim(self, through_seq: int) -> None:
         """Mark events up to ``through_seq`` expired (applied to the store).

@@ -221,6 +221,13 @@ class MDSJournal:
         events = yield self.engine.process(self._journaler.read_all(dst=dst))
         return events
 
+    def read_scan(self, dst: str = "mds"):
+        """Verifying read-back: the full :class:`~repro.journal.format.
+        JournalScan` (events plus damage classification), for recovery
+        paths that must distinguish a clean journal from a damaged one."""
+        scan = yield self.engine.process(self._journaler.read_scan(dst=dst))
+        return scan
+
     @property
     def segments_dispatched(self) -> int:
         return self._journaler.segments_dispatched

@@ -311,6 +311,32 @@ class MetadataServer:
             )
         return {"journal_events_lost": lost_open, "requests_failed": failed}
 
+    def _recover_scan(self) -> Generator[Event, None, list]:
+        """Read the streamed journal back through the verifying scan
+        (process body); instrumented like the client's recovery scan
+        when observability is attached.  Returns the salvaged events —
+        the checksummed-valid prefix of what is in the object store."""
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.tracer.start(
+                "recover.scan", daemon=self.name, mechanism="recovery",
+                source="mds-journal",
+            )
+        scan = yield self.engine.process(self.journal.read_scan(dst=self.name))
+        if span is not None:
+            obs.tracer.end(span)
+            obs.hub.histogram(
+                "recovery_scan_events", daemon=self.name,
+                mechanism="recovery", source="mds-journal",
+            ).observe(len(scan.events))
+            if scan.damage is not None:
+                obs.hub.counter(
+                    "recovery_scan_damage", daemon=self.name,
+                    mechanism="recovery", damage=scan.damage,
+                ).incr()
+        return scan.events
+
     def recover(self) -> Generator[Event, None, int]:
         """Crash recovery from durable state only (process body).
 
@@ -330,7 +356,7 @@ class MetadataServer:
                 )
             except Exception:
                 self.mdstore = MetadataStore()
-        events = yield self.engine.process(self.journal.read_all(dst=self.name))
+        events = yield from self._recover_scan()
         yield from self._cpu(len(events) * cal.VOLATILE_APPLY_S)
         if self.config.materialize:
             JournalTool.apply(events, self.mdstore, skip_errors=True)
@@ -382,7 +408,7 @@ class MetadataServer:
         """MDS restart: re-read the journal from the object store and
         replay it onto the in-memory store (Nonvolatile Apply's second
         half; also the recovery path).  Returns events replayed."""
-        events = yield self.engine.process(self.journal.read_all(dst=self.name))
+        events = yield from self._recover_scan()
         yield from self._cpu(len(events) * cal.VOLATILE_APPLY_S)
         if self.config.materialize:
             JournalTool.apply(events, self.mdstore, skip_errors=True)

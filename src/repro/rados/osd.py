@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Generator, Optional
 
+from repro.faults.corrupt import corrupt_stream
 from repro.sim.disk import Disk
 from repro.sim.engine import Engine, Event
 from repro.sim.stats import StatsRegistry
@@ -53,6 +54,21 @@ class OSD:
         #: Bumped on every crash; an I/O that started under an older
         #: epoch fails even if the OSD recovered while it was in flight.
         self._epoch = 0
+        #: One-shot armed write corruption: (mode, seed, match, notify).
+        self._write_fault = None
+
+    # -- write-fault arming ----------------------------------------------
+    def arm_write_fault(self, mode: str, seed: int, match: str,
+                        notify=None) -> None:
+        """Arm the next write of an object whose name starts with
+        ``match`` to land corrupted (see :mod:`repro.faults.corrupt`).
+
+        The corruption is a pure function of the written bytes, ``mode``
+        and ``seed``, so arming every replica's OSD identically keeps
+        replicas byte-identical.  ``notify(name, stored)`` fires after
+        the damaged bytes are stored; the fault disarms after one hit.
+        """
+        self._write_fault = (mode, seed, match, notify)
 
     # -- failure injection ----------------------------------------------
     def crash(self, lose_volatile: bool = False) -> None:
@@ -132,6 +148,15 @@ class OSD:
                 obs.hub.counter(
                     "bytes_written", daemon=self.name, mechanism="rados"
                 ).incr(int(len(data) if charge_bytes is None else charge_bytes))
+        if self._write_fault is not None and name.startswith(self._write_fault[2]):
+            mode, fault_seed, _match, fault_notify = self._write_fault
+            self._write_fault = None
+            # The disk was charged for the attempted write above; what
+            # *lands* below is the damaged image the crash left behind.
+            data = corrupt_stream(data, mode, fault_seed)
+            self.stats.counter("write_faults").incr()
+        else:
+            fault_notify = None
         obj = self.objects.get(name)
         if obj is None:
             obj = RadosObject(name)
@@ -140,6 +165,8 @@ class OSD:
             obj.append(data)
         else:
             obj.write_full(data)
+        if fault_notify is not None:
+            fault_notify(name, data)
         return obj
 
     def read_object(

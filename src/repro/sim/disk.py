@@ -13,7 +13,7 @@ from typing import Generator
 from repro.sim.engine import Engine, Event
 from repro.sim.resources import Resource
 
-__all__ = ["Disk"]
+__all__ = ["Disk", "NVRam"]
 
 
 class Disk:
@@ -45,14 +45,14 @@ class Disk:
         """Unloaded service time for one request of ``nbytes``."""
         return self.seek_s + nbytes / self.bandwidth_bps
 
-    def _io(self, nbytes: int) -> Generator[Event, None, None]:
+    def _io(self, nbytes: int, extra_s: float = 0.0) -> Generator[Event, None, None]:
         if nbytes < 0:
             raise ValueError("negative I/O size")
         self.requests += 1
         req = self._queue.request()
         yield req
         try:
-            yield self.engine.sleep(self.io_time(nbytes))
+            yield self.engine.sleep(self.io_time(nbytes) + extra_s)
         finally:
             self._queue.release(req)
 
@@ -72,3 +72,38 @@ class Disk:
     def busy_seconds(self) -> float:
         """Cumulative busy integral (for windowed utilization deltas)."""
         return self._queue.busy_seconds()
+
+
+class NVRam(Disk):
+    """Byte-addressable persistent memory (DurableFS-style NVRAM).
+
+    Same serialized-queue interface as :class:`Disk`, but with the
+    latency/ordering profile of persistent memory rather than a block
+    device: microsecond access instead of a 100 µs seek, several GB/s of
+    bandwidth, and — the ordering difference — an explicit *flush
+    barrier* charged per write (the cache-line writeback + fence a PM
+    store sequence needs before the data is actually durable).  Reads
+    pay only the access latency.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        bandwidth_bps: float = 2e9,
+        access_s: float = 2e-6,
+        flush_s: float = 5e-6,
+        name: str = "nvram",
+    ):
+        super().__init__(engine, bandwidth_bps=bandwidth_bps,
+                         seek_s=access_s, name=name)
+        if flush_s < 0:
+            raise ValueError("flush barrier cost must be >= 0")
+        self.flush_s = flush_s
+        self.flushes = 0
+
+    def write(self, nbytes: int) -> Generator[Event, None, None]:
+        """Write + persist barrier: the store is durable only after the
+        writeback/fence sequence, so every write pays ``flush_s``."""
+        self.flushes += 1
+        self.bytes_written += nbytes
+        yield from self._io(nbytes, extra_s=self.flush_s)

@@ -21,6 +21,8 @@ _EXPECTED = [
     "rpc_creates",
     "decoupled_creates",
     "journal_replay",
+    "local_persist_events",
+    "segment_scan_events",
 ]
 
 

@@ -13,31 +13,41 @@ import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
-from test_golden import GOLDEN, GOLDEN_DIR, SUBTREE  # noqa: E402
+from test_golden import CORRUPT_GOLDEN, GOLDEN, GOLDEN_DIR, SUBTREE  # noqa: E402
 
 from repro.conformance import History, check_history, verdict_json  # noqa: E402
-from repro.conformance.driver import run_cell  # noqa: E402
+from repro.conformance.driver import run_cell, run_corruption_cell  # noqa: E402
+
+
+def _write(name, history_text, consistency, durability, owner) -> bool:
+    hist_path = GOLDEN_DIR / f"{name}.history.jsonl"
+    hist_path.write_text(history_text, encoding="utf-8")
+    verdict = check_history(
+        History.load(hist_path), consistency, durability,
+        subtree=SUBTREE, owner=owner,
+    )
+    if not verdict["ok"]:
+        print(f"REFUSING {name}: fresh run violates its own contract:")
+        for v in verdict["violations"]:
+            print(f"  {v['code']}: {v['message']}")
+        return False
+    (GOLDEN_DIR / f"{name}.verdict.json").write_text(
+        verdict_json(verdict), encoding="utf-8"
+    )
+    print(f"{name}: {verdict['events']} events, conformant")
+    return True
 
 
 def main() -> int:
     GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
     for name, (consistency, durability, seed, owner) in GOLDEN.items():
         out = run_cell((consistency, durability, seed))
-        hist_path = GOLDEN_DIR / f"{name}.history.jsonl"
-        hist_path.write_text(out["history"], encoding="utf-8")
-        verdict = check_history(
-            History.load(hist_path), consistency, durability,
-            subtree=SUBTREE, owner=owner,
-        )
-        if not verdict["ok"]:
-            print(f"REFUSING {name}: fresh run violates its own contract:")
-            for v in verdict["violations"]:
-                print(f"  {v['code']}: {v['message']}")
+        if not _write(name, out["history"], consistency, durability, owner):
             return 1
-        (GOLDEN_DIR / f"{name}.verdict.json").write_text(
-            verdict_json(verdict), encoding="utf-8"
-        )
-        print(f"{name}: {verdict['events']} events, conformant")
+    for name, (durability, mode, seed, owner) in CORRUPT_GOLDEN.items():
+        out = run_corruption_cell((durability, mode, seed))
+        if not _write(name, out["history"], "invisible", durability, owner):
+            return 1
     return 0
 
 

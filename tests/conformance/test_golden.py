@@ -11,6 +11,10 @@ Three representative scenarios are frozen under ``golden/``:
 ``crash_local_persist``
     invisible/local — Local Persist followed by a crash that recovery
     must restore exactly (and whose updates never become visible).
+``corrupted_recovery``
+    invisible/local with a torn persist fault — the on-disk image is
+    damaged mid-write and recovery must restore exactly the
+    checksummed-valid prefix the verifying scan salvages.
 
 Each test loads the checked-in history, re-runs the oracle and compares
 the rendered verdict byte-for-byte against the checked-in artifact; a
@@ -27,7 +31,7 @@ import pathlib
 import pytest
 
 from repro.conformance import History, check_history, verdict_json
-from repro.conformance.driver import SUBTREE, run_cell
+from repro.conformance.driver import SUBTREE, run_cell, run_corruption_cell
 
 pytestmark = pytest.mark.conformance
 
@@ -38,6 +42,12 @@ GOLDEN = {
     "strong_rpc": ("strong", "none", 0, "client1"),
     "weak_decoupled": ("weak", "none", 0, "dclient1001"),
     "crash_local_persist": ("invisible", "local", 0, "dclient1001"),
+}
+
+#: fixture name -> (durability, fault mode, seed, owner) — corrupted-
+#: recovery drill cells (always invisible consistency).
+CORRUPT_GOLDEN = {
+    "corrupted_recovery": ("local", "torn", 0, "dclient1001"),
 }
 
 
@@ -61,7 +71,41 @@ def test_golden_history_regenerates_byte_for_byte(name):
     assert out["history"] == want
 
 
-@pytest.mark.parametrize("name", sorted(GOLDEN))
+@pytest.mark.parametrize("name", sorted(GOLDEN) + sorted(CORRUPT_GOLDEN))
 def test_golden_round_trips_through_serialization(name):
     text = (GOLDEN_DIR / f"{name}.history.jsonl").read_text(encoding="utf-8")
     assert History.from_canonical(text).canonical() == text
+
+
+@pytest.mark.parametrize("name", sorted(CORRUPT_GOLDEN))
+def test_corrupt_golden_verdict_byte_for_byte(name):
+    durability, _, _, owner = CORRUPT_GOLDEN[name]
+    history = History.load(GOLDEN_DIR / f"{name}.history.jsonl")
+    verdict = check_history(
+        history, "invisible", durability, subtree=SUBTREE, owner=owner
+    )
+    assert verdict["ok"], verdict["violations"]
+    want = (GOLDEN_DIR / f"{name}.verdict.json").read_text(encoding="utf-8")
+    assert verdict_json(verdict) == want
+
+
+@pytest.mark.parametrize("name", sorted(CORRUPT_GOLDEN))
+def test_corrupt_golden_history_regenerates_byte_for_byte(name):
+    durability, mode, seed, _ = CORRUPT_GOLDEN[name]
+    out = run_corruption_cell((durability, mode, seed))
+    want = (GOLDEN_DIR / f"{name}.history.jsonl").read_text(encoding="utf-8")
+    assert out["history"] == want
+
+
+@pytest.mark.parametrize("name", sorted(CORRUPT_GOLDEN))
+def test_corrupt_golden_records_the_fault(name):
+    # The fixture must actually exercise the corrupted path: a
+    # persist_fault record with a valid prefix strictly shorter than
+    # what the owner believed it persisted.
+    history = History.load(GOLDEN_DIR / f"{name}.history.jsonl")
+    faults = history.of_kind("persist_fault")
+    assert faults, "corrupted-recovery golden recorded no persist_fault"
+    claimed = max(
+        (e.seq for e in history.of_kind("persisted") if e.seq), default=0
+    )
+    assert faults[0].detail["valid_seq"] < claimed

@@ -132,3 +132,42 @@ def test_lost_recovery_is_durability_local_lost():
     verdict, codes = _check(dicts, "invisible", "local", "dclient1001")
     assert not verdict["ok"]
     assert "durability-local-lost" in codes
+
+
+def test_lost_valid_prefix_is_corrupt_recovery_lost():
+    # Drop one recovered update inside the checksummed-valid prefix:
+    # recovery from the damaged image lost data the checksums vouch for.
+    dicts = _load_dicts("corrupted_recovery")
+    fault = next(d for d in dicts if d["kind"] == "persist_fault")
+    valid_seq = fault["detail"]["valid_seq"]
+    victims = [
+        d for d in dicts
+        if d["kind"] == "recovered" and d.get("seq") == valid_seq
+    ]
+    assert victims, "golden recovered nothing at the valid watermark?"
+    dicts = [d for d in dicts if d not in victims]
+    verdict, codes = _check(dicts, "invisible", "local", "dclient1001")
+    assert not verdict["ok"]
+    assert "corrupt-recovery-lost" in codes
+    assert "durability-local-lost" not in codes
+
+
+def test_recovery_past_valid_prefix_is_corrupt_recovery_overrun():
+    # Shrink the fault's recorded valid prefix by one event: the run's
+    # actual recovery now restores one update past what the checksums
+    # can vouch for.
+    dicts = _load_dicts("corrupted_recovery")
+    fault = next(d for d in dicts if d["kind"] == "persist_fault")
+    assert fault["detail"]["valid_seq"] >= 1
+    fault["detail"]["valid_seq"] -= 1
+    fault["detail"]["valid_events"] -= 1
+    verdict, codes = _check(dicts, "invisible", "local", "dclient1001")
+    assert not verdict["ok"]
+    assert "corrupt-recovery-overrun" in codes
+    assert "durability-local-phantom" not in codes
+
+
+def test_corrupt_codes_are_stable_and_distinct():
+    assert {"corrupt-recovery-lost", "corrupt-recovery-overrun"} <= set(
+        VIOLATION_CODES
+    )

@@ -1,0 +1,155 @@
+"""Property tests: the verifying scan under arbitrary seeded damage.
+
+The recovery contract the conformance tier leans on, stated as
+invariants and hammered by Hypothesis:
+
+* the scan never raises, whatever the damage;
+* whatever it salvages is a *prefix* of the events that were encoded —
+  damage may shorten recovery but can never reorder it, fabricate
+  events, or resurrect anything past the first invalid segment;
+* the fault injector's :func:`~repro.faults.corrupt.corrupt_stream` is
+  a pure function of ``(data, mode, seed)`` — the serial/parallel
+  byte-identity guarantee for the corruption drill;
+* an undamaged stream scans clean: every event back, no damage report.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.corrupt import PERSIST_FAULT_MODES, corrupt_stream
+from repro.journal.events import EventType, JournalEvent
+from repro.journal.format import JournalCodec
+
+pytestmark = pytest.mark.faults
+
+
+def _events(n):
+    return [
+        JournalEvent(EventType.CREATE, f"/p/f{i}", ino=i + 1, mtime=float(i),
+                     seq=i + 1, client_id=7)
+        for i in range(n)
+    ]
+
+
+def _is_prefix(got, of):
+    return got == of[: len(got)]
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=24),
+    seg=st.integers(min_value=1, max_value=8),
+    mode=st.sampled_from(PERSIST_FAULT_MODES),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_every_fault_mode_salvages_a_prefix(n, seg, mode, seed):
+    events = _events(n)
+    data = JournalCodec.encode_stream(events, segment_events=seg)
+    damaged = corrupt_stream(data, mode, seed)
+    scan = JournalCodec.scan_stream(damaged)
+    assert _is_prefix(scan.events, events)
+    if scan.damage is None:
+        assert scan.events == events
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=16),
+    seg=st.integers(min_value=1, max_value=6),
+    mode=st.sampled_from(PERSIST_FAULT_MODES),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_corrupt_stream_is_deterministic(n, seg, mode, seed):
+    data = JournalCodec.encode_stream(_events(n), segment_events=seg)
+    assert corrupt_stream(data, mode, seed) == corrupt_stream(data, mode, seed)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=20),
+    seg=st.integers(min_value=1, max_value=6),
+    cut=st.integers(min_value=0, max_value=4000),
+)
+def test_property_any_truncation_scans_to_a_prefix(n, seg, cut):
+    events = _events(n)
+    data = JournalCodec.encode_stream(events, segment_events=seg)
+    scan = JournalCodec.scan_stream(data[: max(0, len(data) - cut)])
+    assert _is_prefix(scan.events, events)
+    if cut:
+        assert scan.damage in (None, "torn-tail")
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=20),
+    seg=st.integers(min_value=1, max_value=6),
+    pos=st.integers(min_value=0, max_value=2**31 - 1),
+    bit=st.integers(min_value=0, max_value=7),
+)
+def test_property_any_bit_flip_scans_to_a_prefix(n, seg, pos, bit):
+    events = _events(n)
+    data = bytearray(JournalCodec.encode_stream(events, segment_events=seg))
+    data[pos % len(data)] ^= 1 << bit
+    scan = JournalCodec.scan_stream(bytes(data))
+    assert _is_prefix(scan.events, events)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=20),
+    i=st.integers(min_value=0, max_value=2**31 - 1),
+    j=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_segment_swap_never_reorders_salvage(n, i, j):
+    # One event per segment, two distinct segments swapped wholesale:
+    # the scan must stop at the first out-of-order segment, never
+    # splicing the moved events back into the wrong place.
+    events = _events(n)
+    data = JournalCodec.encode_stream(events, segment_events=1)
+    spans = JournalCodec.segment_spans(data)
+    assert len(spans) == n
+    a, b = sorted({i % n, j % n} | {0, n - 1})[:2] if i % n == j % n else \
+        sorted((i % n, j % n))
+    (a0, a1), (b0, b1) = spans[a], spans[b]
+    swapped = (data[:a0] + data[b0:b1] + data[a1:b0] + data[a0:a1]
+               + data[b1:])
+    scan = JournalCodec.scan_stream(swapped)
+    assert _is_prefix(scan.events, events)
+    assert len(scan.events) <= a
+    assert scan.damage == "segment-reordered"
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=20),
+    k=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_duplicated_segment_is_rejected(n, k):
+    # Replaying a segment (same bytes, stale seq) must not double-apply
+    # its events: the scan keeps everything before the duplicate and
+    # flags the replay as reordering.
+    events = _events(n)
+    data = JournalCodec.encode_stream(events, segment_events=1)
+    spans = JournalCodec.segment_spans(data)
+    d0, d1 = spans[k % n]
+    dup = data[: d1] + data[d0:d1] + data[d1:]
+    scan = JournalCodec.scan_stream(dup)
+    assert scan.events == events[: (k % n) + 1]
+    assert scan.damage == "segment-reordered"
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=0, max_value=24),
+    seg=st.integers(min_value=1, max_value=8),
+)
+def test_property_clean_stream_round_trips_byte_identically(n, seg):
+    events = _events(n)
+    data = JournalCodec.encode_stream(events, segment_events=seg)
+    scan = JournalCodec.scan_stream(data)
+    assert scan.ok
+    assert scan.damage is None
+    assert scan.events == events
+    assert scan.valid_bytes == len(data)
+    assert JournalCodec.encode_stream(scan.events, segment_events=seg) == data

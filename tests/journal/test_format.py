@@ -172,3 +172,33 @@ def test_property_random_bytes_never_crash_decoder(noise):
     data = JOURNAL_MAGIC + b"\x01\x00\x00\x00" + noise
     events = JournalCodec.decode_stream(data, tolerate_truncation=True)
     assert isinstance(events, list)
+
+
+def test_path_length_boundary_at_u16_max():
+    # Exactly 0xFFFF encoded bytes fits the u16 length field; one more
+    # must be rejected *by name* so the caller knows which field burst.
+    ok = ev("/" + "a" * (0xFFFF - 1))
+    decoded, _ = JournalCodec.decode_event(JournalCodec.encode_event(ok))
+    assert decoded.path == ok.path
+    with pytest.raises(JournalFormatError, match=r"^path too long") as exc:
+        JournalCodec.encode_event(ev("/" + "a" * 0xFFFF))
+    assert "65536" in str(exc.value) and "65535" in str(exc.value)
+
+
+def test_target_path_length_boundary_names_the_field():
+    ok = ev("/src", op=EventType.RENAME, target_path="/" + "b" * (0xFFFF - 1))
+    decoded, _ = JournalCodec.decode_event(JournalCodec.encode_event(ok))
+    assert decoded.target_path == ok.target_path
+    with pytest.raises(JournalFormatError, match=r"^target_path too long"):
+        JournalCodec.encode_event(
+            ev("/src", op=EventType.RENAME, target_path="/" + "b" * 0xFFFF)
+        )
+
+
+def test_multibyte_path_overflow_reports_encoded_bytes():
+    # The limit is on *encoded* bytes, not characters: 22k three-byte
+    # characters overflow even though the character count is far below
+    # the u16 ceiling, and the message reports the byte count.
+    with pytest.raises(JournalFormatError, match=r"^path too long") as exc:
+        JournalCodec.encode_event(ev("/" + "書" * 22000))
+    assert str(1 + 3 * 22000) in str(exc.value)

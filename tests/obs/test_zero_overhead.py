@@ -116,3 +116,69 @@ def test_clients_created_after_attach_inherit_obs():
         assert dclient.obs is obs
     assert client.obs is None
     assert dclient.obs is None
+
+
+def test_corruption_cell_identical_under_obs():
+    """The corrupted-recovery drill is also observation-invariant: the
+    verifying recovery scan's spans/metrics never touch simulated state."""
+    from repro.conformance.driver import run_corruption_cell
+
+    bare = run_corruption_cell(("local", "bitflip", 0))
+    instrumented = run_corruption_cell(("local", "bitflip", 0, True))
+    assert instrumented["verdict"] == bare["verdict"]
+    assert instrumented["history"] == bare["history"]
+    assert "obs" not in bare
+    assert instrumented["obs"]["span_count"] > 0
+
+
+def test_recovery_scan_spans_and_damage_counter():
+    """A damaged local persist leaves a recover.scan span and a
+    recovery_scan_damage counter when observability is attached."""
+    from repro.core.mechanisms import MechanismContext, run_mechanism
+
+    cluster = Cluster(seed=3)
+    with Observability(cluster) as obs:
+        cudele = Cudele(cluster)
+        ns = cluster.run(cudele.decouple(
+            "/j", SubtreePolicy.from_semantics(
+                "invisible", "local", allocated_inodes=64
+            ),
+        ))
+        d = ns.dclient
+        cluster.run(d.create_many("/j", [f"f{i}" for i in range(8)]))
+        d.arm_persist_fault("torn", seed=0)
+        cluster.run(run_mechanism(
+            "local_persist", MechanismContext(cluster, "/j", d)
+        ))
+        d.crash()
+        cluster.run(d.recover_local())
+        names = [s.name for s in obs.tracer.spans]
+        assert "recover.scan" in names
+        damaged = obs.hub.get(
+            "recovery_scan_damage", daemon=d.name,
+            mechanism="recovery", damage="torn-tail",
+        )
+        assert damaged is not None and damaged.value == 1
+
+
+def test_mds_recovery_scan_instrumented():
+    """MDS journal-replay recovery runs through the same verifying scan
+    (a recover.scan span with source=mds-journal)."""
+    from repro.faults import FaultInjector, FaultPlan
+
+    cluster = Cluster(seed=5)
+    with Observability(cluster) as obs:
+        client = cluster.new_client()
+        cluster.run(client.mkdir("/r"))
+        for i in range(4):
+            cluster.run(client.create(f"/r/f{i}"))
+        plan = (FaultPlan()
+                .crash(cluster.now + 0.01, cluster.mds.name)
+                .recover(cluster.now + 0.05, cluster.mds.name, mode="local"))
+        FaultInjector(cluster, plan).start()
+        cluster.run()
+        spans = [s for s in obs.tracer.spans if s.name == "recover.scan"]
+        assert spans, "MDS recovery did not emit a recover.scan span"
+        assert any(
+            dict(s.tags).get("source") == "mds-journal" for s in spans
+        )
