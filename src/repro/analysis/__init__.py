@@ -10,10 +10,18 @@ machine-checked (see ``docs/ANALYSIS.md``):
   registered shared resources (metadata stores, inode tables, the
   object store, client journals),
 * :mod:`repro.analysis.checker` — composition/policy static checking
-  against the mechanism dependency DAG before anything executes.
+  against the mechanism dependency DAG before anything executes,
+* :mod:`repro.analysis.model` — exhaustive small-scope model checker
+  over Table I cells: every cross-client interleaving (plus a
+  crash/recover branch per persist-relevant step) of a bounded
+  workload is replayed through :mod:`repro.sim` under
+  :class:`repro.analysis.schedule.ScheduleController` and judged by
+  the conformance checkers, with a vector-clock DPOR-lite reduction
+  from :mod:`repro.analysis.causality`.
 
-CLI: ``python -m repro.analysis src/`` (lint) and
-``python -m repro.analysis check ...`` (compositions / policy sets).
+CLI: ``python -m repro.analysis src/`` (lint),
+``python -m repro.analysis check ...`` (compositions / policy sets)
+and ``python -m repro.analysis model ...`` (interleaving exploration).
 """
 
 from repro.analysis.checker import (
@@ -29,7 +37,19 @@ from repro.analysis.checker import (
     parse_policy_set,
     policy_set_warnings,
 )
+from repro.analysis.causality import CausalityTracker, VectorClock
 from repro.analysis.findings import Finding, Suppression
+from repro.analysis.model import (
+    MUTATIONS,
+    Mutation,
+    RunResult,
+    crash_variants,
+    explore_cell,
+    explore_matrix,
+    model_report_json,
+    run_schedule,
+    state_fingerprint,
+)
 from repro.analysis.races import (
     Access,
     Race,
@@ -38,31 +58,46 @@ from repro.analysis.races import (
     watch_cluster,
 )
 from repro.analysis.rules import RULES, register_rule, rule_catalog
+from repro.analysis.schedule import Alternative, Decision, ScheduleController
 from repro.analysis.simlint import LintReport, lint_paths, lint_source
 
 __all__ = [
     "Access",
+    "Alternative",
+    "CausalityTracker",
     "CheckError",
     "CompositionError",
+    "Decision",
     "Finding",
     "LintReport",
     "MECHANISM_DEPENDENCIES",
+    "MUTATIONS",
+    "Mutation",
     "PolicySet",
     "PolicySetError",
     "Race",
     "RaceDetector",
     "RaceError",
     "RULES",
+    "RunResult",
+    "ScheduleController",
     "Suppression",
+    "VectorClock",
     "check_inotable",
     "check_plan",
     "check_policy",
     "check_policy_set",
+    "crash_variants",
+    "explore_cell",
+    "explore_matrix",
     "lint_paths",
     "lint_source",
+    "model_report_json",
     "parse_policy_set",
     "policy_set_warnings",
     "register_rule",
     "rule_catalog",
+    "run_schedule",
+    "state_fingerprint",
     "watch_cluster",
 ]

@@ -1,18 +1,23 @@
-"""Same-instant race detector for the discrete-event engine.
+"""Schedule-artifact race detector for the discrete-event engine.
 
 Two processes that touch the same shared resource at the same simulated
 timestamp are ordered only by the engine's seq tie-breaker — a schedule
 artifact, not a modeled guarantee.  If at least one access is a write
-and neither process happens-before the other, the outcome depends on
-dispatch order and would silently change under any engine refactor.
-This detector makes that class of bug fail loudly in tests instead of
-drifting benchmark numbers.
+and neither access happens-before the other, the outcome depends on
+dispatch order and would silently change under any engine refactor (or
+under the model checker's alternative schedules).  This detector makes
+that class of bug fail loudly in tests instead of drifting benchmark
+numbers.
 
-Happens-before is event causality as the engine dispatches it: the
-process that succeeds an event happens-before every process the event
-resumes (``Event.triggered_by`` / ``Process.last_resumed_by``, recorded
-by :mod:`repro.sim.engine`), and a spawner happens-before the processes
-it spawns.  The relation is walked transitively at access time.
+Happens-before is certified with full vector clocks maintained by
+:class:`repro.analysis.causality.CausalityTracker` — the same causality
+core the model checker's commutativity reduction uses — rather than the
+old same-instant name-chain walk: every event is stamped with its
+triggerer's clock at trigger time, resumes merge stamps into process
+clocks, and two accesses race iff their clocks are concurrent.  Accesses
+at *different* instants never race: the engine clock orders them under
+every schedule (the scheduler only permutes same-instant ties), so
+conflict candidates are still batched per instant.
 
 Usage::
 
@@ -31,9 +36,10 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.sim.engine import Engine, Process
+from repro.analysis.causality import CausalityTracker, VectorClock
+from repro.sim.engine import Engine
 
 __all__ = ["Access", "Race", "RaceError", "RaceDetector", "watch_cluster"]
 
@@ -48,9 +54,11 @@ class Access:
     resource: str
     key: Any
     process_name: str
-    #: Names of processes known to happen-before this access at this
-    #: instant (the transitive trigger chain, captured at access time).
-    ancestors: FrozenSet[str]
+    #: Stable per-process id from the causality tracker (names may
+    #: collide; pids cannot).
+    pid: int
+    #: The accessing process's vector clock at the access.
+    clock: VectorClock
 
     def render(self) -> str:
         return (
@@ -91,46 +99,20 @@ class RaceError(AssertionError):
         )
 
 
-def _ancestry(process: Optional[Process]) -> FrozenSet[str]:
-    """Names of processes that happen-before ``process`` right now.
-
-    Walks the resume-trigger chain: who succeeded the event that resumed
-    me, who resumed *them*, and so on.  The chain is finite (each hop
-    moves strictly earlier in dispatch order); a visited-set guards
-    against self-triggering (e.g. a process waking on its own Timeout).
-    """
-    names = set()
-    seen = set()
-    cur = process
-    while cur is not None and id(cur) not in seen:
-        seen.add(id(cur))
-        ev = cur.last_resumed_by
-        if ev is None:
-            break
-        nxt = ev.triggered_by
-        if nxt is None or nxt is cur:
-            break
-        names.add(nxt.name)
-        cur = nxt
-    return frozenset(names)
-
-
 class RaceDetector:
     """Opt-in engine instrumentation recording shared-resource accesses.
 
-    Zero accesses are recorded until resources are registered, and the
-    engine itself is untouched — the detector wraps bound methods on the
-    watched objects, so production runs pay nothing.
+    Zero accesses are recorded until resources are registered — the
+    detector wraps bound methods on the watched objects, so production
+    runs pay nothing.  Construction attaches a
+    :class:`~repro.analysis.causality.CausalityTracker` to the engine
+    (vector clocks for the happens-before certificates); :meth:`detach`
+    releases both the method wrappers and the tracker.
     """
 
     def __init__(self, engine: Engine, max_races: int = 1000):
         self.engine = engine
-        # The ancestry walk dereferences ``last_resumed_by`` events from
-        # earlier dispatches; recycled pooled timeouts (Engine.sleep)
-        # would alias those references, so pooling is disabled for any
-        # engine under race detection.
-        engine.pool_limit = 0
-        engine._timeout_pool.clear()
+        self.tracker = CausalityTracker(engine).attach()
         self.max_races = max_races
         self.races: List[Race] = []
         self.accesses_recorded = 0
@@ -165,7 +147,8 @@ class RaceDetector:
                 resource=resource,
                 key=key,
                 process_name=proc.name,
-                ancestors=_ancestry(proc),
+                pid=self.tracker.pid_of(proc),
+                clock=self.tracker.observe(proc),
             )
         )
 
@@ -201,9 +184,10 @@ class RaceDetector:
                 )
 
     def detach(self) -> None:
-        """Remove every method wrapper installed by :meth:`watch`."""
+        """Remove every wrapper installed by :meth:`watch` + the tracker."""
         while self._unpatchers:
             self._unpatchers.pop()()
+        self.tracker.detach()
 
     # -- analysis --------------------------------------------------------
     def _analyze(self) -> None:
@@ -216,14 +200,11 @@ class RaceDetector:
         for (resource, key_), accs in by_key.items():
             for i, a in enumerate(accs):
                 for b in accs[i + 1:]:
-                    if a.process_name == b.process_name:
+                    if a.pid == b.pid:
                         continue
                     if a.kind == "read" and b.kind == "read":
                         continue
-                    if (
-                        a.process_name in b.ancestors
-                        or b.process_name in a.ancestors
-                    ):
+                    if not a.clock.concurrent(b.clock):
                         continue
                     if len(self.races) >= self.max_races:
                         return

@@ -290,6 +290,107 @@ def _owner(node: ast.AST, fn: ast.AST) -> bool:
     return False
 
 
+@register_rule(
+    "hash-order-key",
+    "sort keys must not depend on object identity or hashes "
+    "(sorted(key=id)/hash() in key functions); such orders vary across "
+    "processes and hash seeds",
+)
+def rule_hash_order_key(tree: ast.AST, path: str) -> Iterator[RuleHit]:
+    for node in _walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        fn = node.func
+        is_sort = (
+            (isinstance(fn, ast.Name) and fn.id == "sorted")
+            or (isinstance(fn, ast.Attribute) and fn.attr == "sort")
+        )
+        if not is_sort:
+            continue
+        for kw in node.keywords:
+            if kw.arg != "key":
+                continue
+            val = kw.value
+            if isinstance(val, ast.Name) and val.id in ("id", "hash"):
+                yield (
+                    val.lineno,
+                    val.col_offset,
+                    f"sort key {val.id} orders by "
+                    + ("object address" if val.id == "id"
+                       else "hash value")
+                    + ", which differs across processes and PYTHONHASHSEED"
+                    " values; sort by a stable domain key",
+                )
+            elif isinstance(val, ast.Lambda):
+                for inner in ast.walk(val):
+                    if (
+                        isinstance(inner, ast.Call)
+                        and isinstance(inner.func, ast.Name)
+                        and inner.func.id in ("id", "hash")
+                    ):
+                        yield (
+                            inner.lineno,
+                            inner.col_offset,
+                            f"sort key calls {inner.func.id}(): the order "
+                            "follows object addresses/hash seeds, not the "
+                            "domain; sort by a stable key",
+                        )
+
+
+def _is_dir_listing(node: ast.AST) -> Optional[str]:
+    """Describe ``node`` if it is a directory-listing call."""
+    if not isinstance(node, ast.Call):
+        return None
+    dotted = _dotted(node.func)
+    if dotted in ("os.listdir", "listdir"):
+        return f"{dotted}(...)"
+    if isinstance(node.func, ast.Attribute) and node.func.attr == "iterdir":
+        base = _dotted(node.func.value) or "<expr>"
+        return f"{base}.iterdir()"
+    return None
+
+
+@register_rule(
+    "unsorted-listdir",
+    "directory listings (os.listdir / Path.iterdir) come back in "
+    "filesystem order; iterate a sorted() copy",
+)
+def rule_unsorted_listdir(tree: ast.AST, path: str) -> Iterator[RuleHit]:
+    # As in unordered-iter: a comprehension feeding an order-free
+    # reducer (sorted(p.name for p in d.iterdir())) is already fixed.
+    excused = set()
+    for node in _walk(tree):
+        if isinstance(node, ast.Call):
+            fn = node.func
+            name = fn.id if isinstance(fn, ast.Name) else None
+            if name in _ORDER_FREE_REDUCERS or name == "sum":
+                for arg in node.args:
+                    if isinstance(arg, (ast.GeneratorExp, ast.ListComp,
+                                        ast.SetComp, ast.DictComp)):
+                        excused.update(id(c) for c in arg.generators)
+    for node in _walk(tree):
+        iters = []
+        if isinstance(node, ast.For):
+            iters = [(node.iter, node.iter.lineno, node.iter.col_offset)]
+        elif isinstance(node, (ast.GeneratorExp, ast.ListComp, ast.SetComp,
+                               ast.DictComp)):
+            iters = [
+                (c.iter, c.iter.lineno, c.iter.col_offset)
+                for c in node.generators
+                if id(c) not in excused
+            ]
+        for expr, line, col in iters:
+            desc = _is_dir_listing(expr)
+            if desc:
+                yield (
+                    line,
+                    col,
+                    f"iterating {desc} in filesystem return order; the "
+                    "listing is not sorted on any platform guarantee — "
+                    "iterate sorted(...) instead",
+                )
+
+
 _MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
                      ast.SetComp)
 _MUTABLE_CTORS = {"list", "dict", "set", "defaultdict", "deque"}

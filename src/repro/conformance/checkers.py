@@ -51,6 +51,8 @@ VIOLATION_CODES = (
     "corrupt-recovery-lost",
     "corrupt-recovery-overrun",
     "model-divergence",
+    "strict-merge-unapplied",
+    "strict-global-unflushed",
 )
 
 
@@ -418,6 +420,126 @@ def _compare_recovery(
 
 
 # ---------------------------------------------------------------------------
+# strict (opt-in) completeness checkers
+# ---------------------------------------------------------------------------
+
+
+def _check_strict_merge(
+    history: History, owner: str, owner_client: Optional[int],
+    out: List[Violation],
+) -> None:
+    """Strict merge convergence for weak rows (opt-in).
+
+    Every acknowledged owner create/mkdir still in the journal when a
+    merge window closes must have become *visible* with the owner's
+    client id — the count bookkeeping in :func:`_check_weak` cannot see
+    updates that conflict resolution silently dropped before shipping
+    (a flipped ``core.merge`` priority passes it), so the strict tier
+    holds the merge to the actual journal contents.  Crashes clear the
+    tracked journal exactly as they clear the real one, so losing
+    unpersisted updates to a crash stays legal.
+
+    Scenario caveat (why this is opt-in): conflict resolution may
+    legitimately satisfy an owner MKDIR by keeping an existing
+    directory, without an owner-attributed visible event.  The model
+    checker's bounded workloads avoid that shape; free-form conformance
+    scenarios may not, so :func:`check_history` only runs this under
+    ``strict=True``.
+
+    Cascading loss is excused: when a crash legitimately eats a journal
+    entry (durability permitting), later acknowledged ops *under* the
+    lost path are orphans the merge cannot apply — they surface only
+    because their parent was lawfully lost, so they are not silent
+    drops.  The lost set shrinks again when recovery restores an entry.
+    """
+    invokes: Dict[int, Tuple[Optional[str], Optional[str]]] = {}
+    journal: Dict[int, Tuple[Optional[str], Optional[str]]] = {}
+    visible = set()
+    lost_paths: set = set()
+
+    def _orphaned(path: Optional[str]) -> bool:
+        if path is None:
+            return False
+        return any(
+            path.startswith(lost.rstrip("/") + "/") for lost in lost_paths
+            if lost
+        )
+
+    for e in history:
+        if e.kind == "invoke" and e.actor == owner and e.op_id is not None:
+            invokes[e.op_id] = (e.op, e.path)
+        elif e.kind == "complete" and e.actor == owner and e.ok and e.seq:
+            op, path = invokes.get(e.op_id, (None, None))
+            journal[e.seq] = (op, path if path is not None else e.path)
+        elif e.kind == "crash" and e.actor == owner:
+            lost_paths.update(
+                journal[seq][1] for seq in sorted(journal)
+                if journal[seq][1]
+            )
+            journal.clear()
+        elif e.kind == "recovered" and e.actor == owner and e.seq:
+            journal[e.seq] = (e.op, e.path)
+            lost_paths.discard(e.path)
+        elif e.kind == "visible" and e.client == owner_client:
+            visible.add((e.op, e.path))
+        elif e.kind == "merge_end" and e.client == owner_client:
+            for seq in sorted(journal):
+                op, path = journal[seq]
+                if op not in ("create", "mkdir"):
+                    continue
+                if (op, path) in visible or _orphaned(path):
+                    continue
+                out.append(Violation(
+                    "strict-merge-unapplied",
+                    f"acknowledged {op} {path} (seq={seq}) survived to "
+                    "the merge but never became visible with the "
+                    "owner's client id",
+                    t=e.t, path=path,
+                ))
+            journal.clear()
+
+
+def _check_strict_persist(
+    history: History, owner: str, mds_actors: set, out: List[Violation],
+) -> None:
+    """Strict global-persist completeness for strong+global (opt-in).
+
+    Under RPCs + Stream, every acknowledged owner mutation is journaled
+    at the MDS and the completion flush must push it to the object
+    store: by the end of the history each acked create/mkdir path must
+    carry an MDS ``persisted`` record with global scope.  The prefix
+    comparison in :func:`_check_durability` cannot see a dropped flush
+    (a shorter persisted prefix is still a valid prefix); this tier
+    can.  An MDS crash legitimately sheds acked-but-undispatched
+    updates (strong+global only guarantees what Stream flushed), so
+    the acked set resets at an MDS crash like the journal it mirrors.
+    """
+    invokes: Dict[int, Tuple[Optional[str], Optional[str]]] = {}
+    acked: List[Tuple[str, str, float]] = []
+    persisted_paths = set()
+    for e in history:
+        if e.kind == "invoke" and e.actor == owner and e.op_id is not None:
+            invokes[e.op_id] = (e.op, e.path)
+        elif e.kind == "complete" and e.actor == owner and e.ok:
+            op, path = invokes.get(e.op_id, (None, None))
+            if op in ("create", "mkdir") and path is not None:
+                acked.append((op, path, e.t))
+        elif e.kind == "crash" and e.actor in mds_actors:
+            acked.clear()
+        elif e.kind == "persisted" and e.actor in mds_actors and \
+                (e.scope or "") == "global":
+            persisted_paths.add(e.path or "")
+    for op, path, t in acked:
+        if path not in persisted_paths:
+            out.append(Violation(
+                "strict-global-unflushed",
+                f"acknowledged {op} {path} never reached the object "
+                "store (no global persisted record by any MDS)",
+                t=t, path=path,
+            ))
+
+
+# ---------------------------------------------------------------------------
 # model replay
 # ---------------------------------------------------------------------------
 
@@ -484,12 +606,19 @@ def check_history(
     durability: str,
     subtree: str = "/",
     owner: Optional[str] = None,
+    strict: bool = False,
 ) -> Dict:
     """Check one history against a semantics cell; returns a verdict.
 
     The verdict is a plain JSON-able dict: the scenario coordinates,
     event count, the violation list (empty means conformant) and an
     ``ok`` flag.
+
+    ``strict=True`` adds the completeness tier used by the model
+    checker (:func:`_check_strict_merge` for weak rows,
+    :func:`_check_strict_persist` for strong+global) and marks the
+    verdict with ``"strict": true``.  Default verdicts are untouched so
+    recorded goldens stay byte-identical.
     """
     if consistency not in ("invisible", "weak", "strong"):
         raise ValueError(f"unknown consistency {consistency!r}")
@@ -513,9 +642,14 @@ def check_history(
         else:
             _check_invisible(history, owner, owner_client, violations)
         _check_durability(history, durability, owner, mds_actors, violations)
+        if strict:
+            if consistency == "weak":
+                _check_strict_merge(history, owner, owner_client, violations)
+            if (consistency, durability) == ("strong", "global"):
+                _check_strict_persist(history, owner, mds_actors, violations)
     _check_model(history, subtree, mds_actors, violations)
 
-    return {
+    verdict = {
         "consistency": consistency,
         "durability": durability,
         "subtree": subtree,
@@ -524,6 +658,9 @@ def check_history(
         "ok": not violations,
         "violations": [v.to_dict() for v in violations],
     }
+    if strict:
+        verdict["strict"] = True
+    return verdict
 
 
 def verdict_json(verdict: Dict) -> str:

@@ -472,6 +472,16 @@ class Engine:
         #: simulated busy time to the active span.  None keeps the hot
         #: path to a single predictable branch.
         self.sleep_hook = None
+        #: Optional ready-set scheduler ``hook(events) -> index``.  When
+        #: set, dispatch goes through :meth:`_step_controlled`: at every
+        #: instant where more than one event is tied for dispatch at
+        #: equal ``(time, priority)``, the hook is shown the tied events
+        #: (in default seq order) and picks which fires next.  Choosing
+        #: index 0 everywhere reproduces the default schedule exactly.
+        #: None (the default) keeps the inlined hot loop untouched —
+        #: this is the model checker's entry point (repro.analysis.model)
+        #: and costs nothing in production runs.
+        self.scheduler = None
 
     @property
     def now(self) -> float:
@@ -544,8 +554,78 @@ class Engine:
         heapq.heappush(self._heap, (self._now + delay, priority, next(self._seq), event))
 
     # -- running ----------------------------------------------------------
+    def _pick(self, events: list) -> Event:
+        """Let the scheduler hook choose among tied events."""
+        if len(events) == 1:
+            return events[0]
+        return events[self.scheduler(events)]
+
+    def _step_controlled(self) -> None:
+        """One dispatch step under the pluggable ready-set scheduler.
+
+        Dispatch semantics match :meth:`step` exactly, except that ties —
+        events dispatchable at the same ``(time, priority)`` — are
+        resolved by ``self.scheduler`` instead of arrival (seq) order.
+        Events at different priorities are never offered together: their
+        relative order is a modeled guarantee, not a schedule artifact.
+        Choosing index 0 at every decision point reproduces the default
+        schedule event-for-event.
+        """
+        queue = self._now_queue
+        heap = self._heap
+        if queue:
+            if heap and heap[0][1] < _DEFAULT_PRIORITY and heap[0][0] <= self._now:
+                # Same-instant higher-priority heap entries outrank the
+                # FIFO; only entries at that priority are tied.
+                tied = sorted(
+                    (e for e in heap
+                     if e[0] == heap[0][0] and e[1] == heap[0][1]),
+                    key=lambda e: e[2],
+                )
+                event = self._pick([e[3] for e in tied])
+                if event is tied[0][3]:
+                    heapq.heappop(heap)
+                else:
+                    heap.remove(next(e for e in tied if e[3] is event))
+                    heapq.heapify(heap)
+            else:
+                # FIFO entries were all appended before any same-instant
+                # default-priority heap entry could be pushed (the append
+                # guard forbids coexistence in the other order), so the
+                # default order is queue first, then heap entries by seq.
+                tied = sorted(
+                    (e for e in heap
+                     if e[0] <= self._now and e[1] == _DEFAULT_PRIORITY),
+                    key=lambda e: e[2],
+                )
+                event = self._pick(list(queue) + [e[3] for e in tied])
+                try:
+                    queue.remove(event)
+                except ValueError:
+                    heap.remove(next(e for e in tied if e[3] is event))
+                    heapq.heapify(heap)
+        else:
+            when, prio = heap[0][0], heap[0][1]
+            tied = sorted(
+                (e for e in heap if e[0] == when and e[1] == prio),
+                key=lambda e: e[2],
+            )
+            event = self._pick([e[3] for e in tied])
+            self._now = when
+            if event is tied[0][3]:
+                heapq.heappop(heap)
+            else:
+                heap.remove(next(e for e in tied if e[3] is event))
+                heapq.heapify(heap)
+        if self.trace is not None:
+            self.trace(self._now, event)
+        event._process_callbacks()
+
     def step(self) -> None:
         """Advance the clock to, and process, the next scheduled event."""
+        if self.scheduler is not None:
+            self._step_controlled()
+            return
         queue = self._now_queue
         if queue:
             heap = self._heap
@@ -578,6 +658,14 @@ class Engine:
             raise SimulationError(f"until={until} is in the past (now={self._now})")
         queue = self._now_queue
         heap = self._heap
+        if self.scheduler is not None:
+            while queue or heap:
+                if until is not None and not queue and heap[0][0] > until:
+                    break
+                self._step_controlled()
+            if until is not None:
+                self._now = until
+            return
         if until is None:
             # Hot loop: Engine.step inlined minus the dead branches (the
             # now-queue never holds non-default priorities, so the only

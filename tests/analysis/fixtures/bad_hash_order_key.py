@@ -1,0 +1,10 @@
+"""Fixture: identity/hash-based sort keys; order varies across runs."""
+
+
+def by_identity(clients):
+    return sorted(clients, key=id)
+
+
+def by_hash(paths, table):
+    paths.sort(key=lambda p: hash(p))
+    return sorted(table.items(), key=lambda kv: (hash(kv[0]), kv[1]))

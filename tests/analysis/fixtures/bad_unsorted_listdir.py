@@ -1,0 +1,13 @@
+"""Fixture: directory listings iterated in filesystem return order."""
+
+import os
+from pathlib import Path
+
+
+def replay_segments(root):
+    for name in os.listdir(root):
+        yield name
+
+
+def collect(root):
+    return [p.name for p in Path(root).iterdir()]

@@ -1,0 +1,173 @@
+"""Vector clocks and the engine-attached causality tracker."""
+
+from repro.analysis.causality import CausalityTracker, VectorClock
+from repro.sim.engine import Engine, Event, Timeout
+
+
+# -- VectorClock algebra ----------------------------------------------------
+
+
+def test_tick_is_pure_and_monotone():
+    c0 = VectorClock()
+    c1 = c0.tick(1)
+    c2 = c1.tick(1)
+    assert c0.get(1) == 0
+    assert c1.get(1) == 1
+    assert c2.get(1) == 2
+    # The originals are untouched (frozen value semantics).
+    assert c1.get(1) == 1
+
+
+def test_merge_takes_componentwise_max():
+    a = VectorClock().tick(1).tick(1)      # {1: 2}
+    b = VectorClock().tick(2)              # {2: 1}
+    m = a.merge(b)
+    assert m.get(1) == 2 and m.get(2) == 1
+    # Merge is commutative.
+    assert b.merge(a) == m
+
+
+def test_precedes_is_strict_happens_before():
+    a = VectorClock().tick(1)
+    b = a.merge(VectorClock().tick(2)).tick(2)
+    assert a.precedes(b)
+    assert not b.precedes(a)
+    # Not reflexive: equal clocks do not strictly precede.
+    assert not a.precedes(a)
+    assert a.leq(a)
+
+
+def test_concurrent_iff_neither_precedes():
+    a = VectorClock().tick(1)
+    b = VectorClock().tick(2)
+    assert a.concurrent(b) and b.concurrent(a)
+    merged = a.merge(b).tick(2)
+    assert not a.concurrent(merged)
+
+
+def test_equality_and_hash_ignore_zero_entries():
+    a = VectorClock({1: 1})
+    b = VectorClock({1: 1, 2: 0})
+    assert a == b
+    assert hash(a) == hash(b)
+    assert len({a, b}) == 1
+
+
+# -- CausalityTracker over the engine ---------------------------------------
+
+
+def test_sequential_steps_of_one_process_are_ordered():
+    eng = Engine()
+    tracker = CausalityTracker(eng).attach()
+    stamps = []
+
+    def prog():
+        stamps.append(tracker.observe(eng.active_process))
+        yield Timeout(eng, 1.0)
+        stamps.append(tracker.observe(eng.active_process))
+
+    eng.process(prog(), name="p")
+    eng.run()
+    tracker.detach()
+    assert stamps[0].precedes(stamps[1])
+
+
+def test_independent_processes_are_concurrent():
+    eng = Engine()
+    tracker = CausalityTracker(eng).attach()
+    stamps = {}
+
+    def prog(tag):
+        yield Timeout(eng, 1.0)
+        stamps[tag] = tracker.observe(eng.active_process)
+
+    eng.process(prog("a"), name="a")
+    eng.process(prog("b"), name="b")
+    eng.run()
+    tracker.detach()
+    assert stamps["a"].concurrent(stamps["b"])
+
+
+def test_event_wakeup_merges_triggerer_into_waiter():
+    eng = Engine()
+    tracker = CausalityTracker(eng).attach()
+    gate = Event(eng)
+    stamps = {}
+
+    def setter():
+        yield Timeout(eng, 1.0)
+        stamps["before-set"] = tracker.observe(eng.active_process)
+        gate.succeed()
+
+    def waiter():
+        yield gate
+        stamps["after-wait"] = tracker.observe(eng.active_process)
+
+    eng.process(waiter(), name="waiter")
+    eng.process(setter(), name="setter")
+    eng.run()
+    tracker.detach()
+    assert stamps["before-set"].precedes(stamps["after-wait"])
+
+
+def test_spawned_child_inherits_parent_clock():
+    eng = Engine()
+    tracker = CausalityTracker(eng).attach()
+    stamps = {}
+
+    def child():
+        stamps["child"] = tracker.observe(eng.active_process)
+        yield Timeout(eng, 0.5)
+
+    def parent():
+        yield Timeout(eng, 1.0)
+        stamps["parent"] = tracker.observe(eng.active_process)
+        eng.process(child(), name="child")
+        yield Timeout(eng, 1.0)
+
+    eng.process(parent(), name="parent")
+    eng.run()
+    tracker.detach()
+    assert stamps["parent"].precedes(stamps["child"])
+
+
+def test_event_clock_stamped_on_succeed():
+    eng = Engine()
+    tracker = CausalityTracker(eng).attach()
+    gate = Event(eng)
+    seen = {}
+    setter_proc = {}
+
+    def setter():
+        setter_proc["p"] = eng.active_process
+        yield Timeout(eng, 1.0)
+        gate.succeed()
+        seen["clock"] = tracker.event_clock(gate)
+
+    eng.process(setter(), name="setter")
+    eng.run()
+    tracker.detach()
+    assert seen["clock"] is not None
+    # The stamp carries the setter's component.
+    assert seen["clock"].get(tracker.pid_of(setter_proc["p"])) >= 1
+
+
+def test_detach_restores_engine_hooks():
+    eng = Engine()
+    before_trace = eng.trace
+    before_succeed = Event.succeed
+    tracker = CausalityTracker(eng).attach()
+    tracker.detach()
+    assert eng.trace is before_trace
+    assert Event.succeed is before_succeed
+
+    # The engine still runs normally after detach.
+    done = []
+
+    def prog():
+        yield Timeout(eng, 1.0)
+        done.append(True)
+
+    eng.process(prog(), name="p")
+    eng.run()
+    assert done == [True]

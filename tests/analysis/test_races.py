@@ -261,3 +261,92 @@ def test_report_renders_races():
     eng.run()
     text = det.report()
     assert "race at t=" in text and "store" in text
+
+
+# -- interplay with the engine fast path ------------------------------------
+#
+# The zero-delay now-queue and timeout pooling rewired event dispatch;
+# the detector's clocks must survive both: same-instant conflicts
+# reached through fast-path deliveries still race, fast-path wakeup
+# edges still order, and recycled timeouts never alias clock stamps
+# (the detector forces pool_limit = 0).
+
+
+def test_zero_delay_chain_conflicts_are_still_flagged():
+    eng = Engine()
+    det = RaceDetector(eng)
+
+    def writer(tag):
+        yield Timeout(eng, 1.0)
+        yield eng.sleep(0.0)     # ride the now-queue before touching
+        yield eng.sleep(0.0)
+        det.record("write", "mdstore", "/f")
+
+    eng.process(writer("a"), name="a")
+    eng.process(writer("b"), name="b")
+    eng.run()
+    det.flush()
+    assert len(det.races) == 1
+    assert det.races[0].t == 1.0
+
+
+def test_zero_delay_event_wakeup_still_creates_hb_edge():
+    eng = Engine()
+    det = RaceDetector(eng)
+    gate = eng.event()
+
+    def producer():
+        yield Timeout(eng, 1.0)
+        det.record("write", "store", "k")
+        gate.succeed()           # immediate: delivered via the now-queue
+
+    def consumer():
+        yield gate
+        det.record("write", "store", "k")
+
+    eng.process(producer(), name="producer")
+    eng.process(consumer(), name="consumer")
+    eng.run()
+    det.check()                  # ordered through the fast-path delivery
+
+
+def test_detector_sees_distinct_clocks_despite_prior_pooling():
+    # Warm the pool first, then attach: the detector must drain the
+    # already-recycled timeouts and disable further pooling, so stamp
+    # identity can never alias across instants.
+    eng = Engine()
+
+    def warm():
+        yield eng.sleep(0.1)
+        yield eng.sleep(0.1)
+
+    eng.process(warm(), name="warm")
+    eng.run()
+    assert eng.pool_limit > 0
+    det = RaceDetector(eng)
+    assert eng.pool_limit == 0
+    assert eng._timeout_pool == []
+
+    def late(tag):
+        yield eng.sleep(1.0)
+        det.record("write", "objstore", "blob")
+
+    eng.process(late("x"), name="x")
+    eng.process(late("y"), name="y")
+    eng.run()
+    det.flush()
+    assert len(det.races) == 1
+
+
+def test_sequential_fastpath_accesses_do_not_race():
+    eng = Engine()
+    det = RaceDetector(eng)
+
+    def prog():
+        det.record("write", "journal", 1)
+        yield eng.sleep(0.0)
+        det.record("write", "journal", 1)
+
+    eng.process(prog(), name="solo")
+    eng.run()
+    det.check()                  # same process: program order wins

@@ -16,6 +16,8 @@ RULE_FIXTURES = {
     "float-accum": "bad_float_accum.py",
     "yieldless-process": "bad_yieldless.py",
     "shared-state": "bad_shared_state.py",
+    "hash-order-key": "bad_hash_order_key.py",
+    "unsorted-listdir": "bad_unsorted_listdir.py",
 }
 
 
@@ -128,3 +130,36 @@ def test_cli_rules_and_usage(capsys):
     assert cli_main(["lint"]) == 2
     assert cli_main(["lint", "--rules"]) == 2
     assert cli_main([str(FIXTURES / "no_such_file.py")]) == 2
+
+
+def test_sorted_listings_and_stable_keys_are_clean():
+    src = (
+        "import os\n"
+        "from pathlib import Path\n"
+        "def f(root, names, table):\n"
+        "    for n in sorted(os.listdir(root)):\n"
+        "        yield n\n"
+        "    count = sum(1 for _ in Path(root).iterdir())\n"
+        "    h = hash(root)  # not a sort key\n"
+        "    return sorted(names, key=str.lower), count, h\n"
+    )
+    report = lint_source(src, "inline.py")
+    assert report.ok
+
+
+def test_new_rules_honor_suppressions_with_stats():
+    src = (
+        "import os\n"
+        "def f(root, xs):\n"
+        "    for n in os.listdir(root):  "
+        "# simlint: ignore[unsorted-listdir] host-side tooling\n"
+        "        print(n)\n"
+        "    return sorted(xs, key=id)  "
+        "# simlint: ignore[hash-order-key] debug dump only\n"
+    )
+    report = lint_source(src, "inline.py")
+    assert report.ok
+    assert {f.rule for f in report.suppressed} == {
+        "unsorted-listdir", "hash-order-key",
+    }
+    assert len(report.suppression_counts) == 2
