@@ -391,6 +391,40 @@ def rule_unsorted_listdir(tree: ast.AST, path: str) -> Iterator[RuleHit]:
                 )
 
 
+#: Engine internals whose layout is a private contract of the event
+#: loop: the shard coordinator manipulates them under documented
+#: invariants, but any other reader couples itself to heap-tuple layout
+#: and the zero-delay fast path, both of which are allowed to change.
+_ENGINE_INTERNALS = {"_heap", "_now_queue", "_seq"}
+
+
+@register_rule(
+    "engine-internal-access",
+    "no reads of Engine internals (_heap/_now_queue/_seq) outside "
+    "repro.sim; schedule through the public Engine API",
+)
+def rule_engine_internal_access(tree: ast.AST, path: str) -> Iterator[RuleHit]:
+    # The kernel package owns these fields (the shard coordinator in
+    # repro.sim.shard reaches into member engines by design).
+    normalized = path.replace("\\", "/")
+    if "repro/sim/" in normalized or normalized.endswith("repro/sim"):
+        return
+    for node in _walk(tree):
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr in _ENGINE_INTERNALS
+        ):
+            base = _dotted(node.value) or "<expr>"
+            yield (
+                node.lineno,
+                node.col_offset,
+                f"{base}.{node.attr} reaches into the event-loop "
+                "internals; their layout (heap tuples, the zero-delay "
+                "fast path) is private to repro.sim — use the public "
+                "Engine API (schedule/process/peek/run_window)",
+            )
+
+
 _MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
                      ast.SetComp)
 _MUTABLE_CTORS = {"list", "dict", "set", "defaultdict", "deque"}

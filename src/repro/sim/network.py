@@ -15,7 +15,7 @@ from typing import Dict, FrozenSet, Generator, Set, Tuple
 from repro.sim.engine import Engine, Event
 from repro.sim.resources import Resource
 
-__all__ = ["Link", "Network", "PartitionError"]
+__all__ = ["Link", "Network", "PartitionError", "ShardRouter"]
 
 
 class PartitionError(ConnectionError):
@@ -66,6 +66,46 @@ class Link:
         yield self.engine.sleep(self.latency_s)
 
 
+class ShardRouter:
+    """Endpoint -> shard-rank assignment for a sharded simulation.
+
+    The partition map for :class:`~repro.sim.shard.ShardedEngine`
+    clusters: each endpoint name (``mds1``, ``osd2``, ``client7``, ...)
+    is pinned to a shard rank, and the directed link ``src -> dst``
+    lives on the *destination's* shard — a transfer completes by waking
+    the receiver, so delivery-side placement keeps a shard's inbound
+    traffic on its own heap.  Unassigned endpoints default to shard 0
+    (the facade), which is always a correct (if unbalanced) placement
+    in lockstep mode.
+
+    Also the cross-shard traffic ledger: :meth:`Network.send` accounts
+    every transfer whose endpoints sit on different shards, which is
+    what the sharded-core docs use to show how chatty a partition is.
+    """
+
+    def __init__(self, sharded: Engine):
+        #: The sharded engine (duck-typed: anything with ``shard(rank)``).
+        self.sharded = sharded
+        self._assignment: Dict[str, int] = {}
+        self.cross_shard_messages = 0
+        self.cross_shard_bytes = 0
+
+    def assign(self, endpoint: str, rank: int) -> None:
+        self._assignment[endpoint] = rank
+
+    def shard_of(self, endpoint: str) -> int:
+        return self._assignment.get(endpoint, 0)
+
+    def engine_for_link(self, src: str, dst: str) -> Engine:
+        """The engine a ``src -> dst`` link's events belong on."""
+        return self.sharded.shard(self.shard_of(dst))
+
+    def account(self, src: str, dst: str, nbytes: int) -> None:
+        if self._assignment.get(src, 0) != self._assignment.get(dst, 0):
+            self.cross_shard_messages += 1
+            self.cross_shard_bytes += nbytes
+
+
 class Network:
     """A mesh of named endpoints with per-pair links created on demand."""
 
@@ -74,10 +114,14 @@ class Network:
         engine: Engine,
         latency_s: float = 50e-6,
         bandwidth_bps: float = 10e9 / 8,
+        router: "ShardRouter" = None,
     ):
         self.engine = engine
         self.default_latency_s = latency_s
         self.default_bandwidth_bps = bandwidth_bps
+        #: Shard placement for links (sharded clusters only); None keeps
+        #: every link on the network's own engine.
+        self.router = router
         self._links: Dict[Tuple[str, str], Link] = {}
         #: Severed endpoint pairs (undirected); see :meth:`partition`.
         self._partitions: Set[FrozenSet[str]] = set()
@@ -88,8 +132,12 @@ class Network:
         key = (src, dst)
         lk = self._links.get(key)
         if lk is None:
+            engine = (
+                self.engine if self.router is None
+                else self.router.engine_for_link(src, dst)
+            )
             lk = Link(
-                self.engine,
+                engine,
                 latency_s=self.default_latency_s,
                 bandwidth_bps=self.default_bandwidth_bps,
                 name=f"{src}->{dst}",
@@ -122,6 +170,8 @@ class Network:
         if self.is_partitioned(src, dst):
             self.messages_dropped += 1
             raise PartitionError(f"network partition between {src} and {dst}")
+        if self.router is not None:
+            self.router.account(src, dst, nbytes)
         yield from self.link(src, dst).transmit(nbytes)
 
     @property

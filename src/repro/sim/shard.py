@@ -1,0 +1,585 @@
+"""Sharded simulation core: per-rank event loops with conservative sync.
+
+One :class:`~repro.sim.engine.Engine` is the hard ceiling on cluster
+size: every simulated actor shares a single event heap, so at 10^5
+actors each ``heappush``/``heappop`` sifts a ~17-level heap that no
+longer fits cache.  This module partitions the simulation into *shards*
+— one full ``Engine`` (heap, now-queue, timeout pool) per MDS rank —
+and synchronizes them conservatively, classic null-message / LBTS-style
+parallel DES reduced to a deterministic round-based coordinator.
+
+Two execution modes, two extremes of the same lookahead formula
+----------------------------------------------------------------
+The safe horizon for any shard is ``LBTS + lookahead``, where LBTS is
+the lower bound on any shard's next timestamp and *lookahead* is the
+minimum cross-shard delivery latency (from ``Link.latency_s`` /
+:class:`ShardChannel` latencies):
+
+* **lockstep** (``lookahead == 0``): cross-shard interactions can take
+  effect at the current instant — the cluster's client<->MDS RPC links
+  are zero-latency by calibration — so the only safe window is a single
+  event.  Shard heaps share one global sequence counter and the
+  coordinator always dispatches the globally least ``(time, priority,
+  seq)`` event, which makes a sharded run *event-for-event identical*
+  to a serial one: byte-identical artifacts for any workload, with
+  per-shard heaps a fraction of the serial heap's size.  This is the
+  mode :class:`~repro.cluster.Cluster` uses for ``shards=N``.
+* **window** (``lookahead > 0``, or no cross-shard traffic at all):
+  each round delivers due channel messages, then lets every shard — in
+  rank order, so rounds are reproducible — drain all events strictly
+  below the horizon without consulting its siblings.  With no channels
+  the lookahead is infinite and each shard free-runs to completion;
+  this is what the ``repro.bench micro`` actor-scale probes measure
+  (the sharded speedup at 10^4-10^5 actors comes from cache locality
+  and shallower heap sift paths alone — see docs/PERFORMANCE.md).
+
+Cross-shard messages ride :class:`ShardChannel`: timestamped FIFOs
+delivered at ``send_time + latency`` with ``latency >= lookahead`` by
+construction, so no shard ever executes an event before a lower-
+timestamped cross-shard message could still arrive.  Conservatism is
+asserted at every delivery (:class:`LookaheadViolation`) and driven
+adversarially by the property tests in ``tests/sim/test_shard.py``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.sim.engine import (
+    _DEFAULT_PRIORITY,
+    _TRIGGERED,
+    Engine,
+    Event,
+    Process,
+    SimulationError,
+)
+from repro.sim.resources import Store
+
+__all__ = [
+    "ShardedEngine",
+    "ShardChannel",
+    "LookaheadViolation",
+    "run_shards_parallel",
+]
+
+_INF = float("inf")
+
+
+class LookaheadViolation(SimulationError):
+    """A cross-shard message would arrive in a shard's executed past."""
+
+
+class _HeapSpill:
+    """A now-queue stand-in that redirects admissions onto the heap.
+
+    In lockstep mode the zero-delay fast path must not be taken: a
+    now-queue entry carries no sequence number, so its order relative
+    to *other shards'* events at the same instant would be lost.  Every
+    shard engine's ``_now_queue`` is replaced with one of these — the
+    fast-path guard in ``Event.succeed``/``Engine._schedule`` still
+    runs, but an admitted event lands on the shard heap stamped from
+    the shared global sequence counter instead of in a FIFO.  The spill
+    is always falsy, so the run loops see a permanently-empty queue and
+    drive the heap only.
+
+    The serial engine's documented equivalence (FIFO draining yields
+    exactly the ``(time, priority, seq)`` heap order) is what makes the
+    spill order-preserving: forcing events back onto the heap recovers
+    the very order the fast path was proven to imitate.
+    """
+
+    __slots__ = ("_engine",)
+
+    def __init__(self, engine: Engine):
+        self._engine = engine
+
+    def append(self, event: Event) -> None:
+        engine = self._engine
+        heapq.heappush(
+            engine._heap,
+            (engine._now, _DEFAULT_PRIORITY, next(engine._seq), event),
+        )
+
+    def __len__(self) -> int:
+        return 0
+
+    def popleft(self) -> Event:  # pragma: no cover - unreachable (falsy)
+        raise SimulationError("lockstep shards dispatch from the heap only")
+
+    def clear(self) -> None:
+        return None
+
+
+class ShardChannel:
+    """A timestamped FIFO carrying cross-shard messages (window mode).
+
+    Messages pushed at sender time ``t`` become visible to the
+    destination shard at exactly ``t + latency_s``; the coordinator
+    drains due messages at round boundaries, before any shard runs its
+    window.  The channel's latency is its lookahead contribution: the
+    sharded engine's global lookahead is the minimum latency over all
+    channels, which is why a delivery can never land in a shard's
+    executed past (asserted anyway — conservatism is an invariant, not
+    a hope).
+
+    The destination side is a :class:`~repro.sim.resources.Store` on
+    the destination shard's engine; receivers ``yield chan.store.get()``.
+    """
+
+    def __init__(
+        self,
+        sharded: "ShardedEngine",
+        src_shard: int,
+        dst_shard: int,
+        latency_s: float,
+        name: str = "",
+    ):
+        if latency_s <= 0:
+            raise ValueError(
+                "cross-shard channels need latency > 0; zero-latency "
+                "coupling requires lockstep mode"
+            )
+        if src_shard == dst_shard:
+            raise ValueError("channel endpoints must be distinct shards")
+        self.sharded = sharded
+        self.src_shard = src_shard
+        self.dst_shard = dst_shard
+        self.latency_s = latency_s
+        self.name = name or f"shard{src_shard}->shard{dst_shard}"
+        self.store = Store(sharded.shard(dst_shard), name=f"{self.name}.mbox")
+        #: In-flight (deliver_time, fifo_seq, value) messages.
+        self._in_flight: List[Tuple[float, int, Any]] = []
+        self._fifo = 0
+        self.messages_sent = 0
+        self.messages_delivered = 0
+
+    def push(self, value: Any, extra_delay_s: float = 0.0) -> None:
+        """Send ``value``; it arrives at ``now + latency_s + extra_delay_s``."""
+        if extra_delay_s < 0:
+            raise ValueError("extra_delay_s must be >= 0")
+        src = self.sharded.shard(self.src_shard)
+        deliver = src.now + self.latency_s + extra_delay_s
+        heapq.heappush(self._in_flight, (deliver, self._fifo, value))
+        self._fifo += 1
+        self.messages_sent += 1
+
+    def peek_deliver_time(self) -> float:
+        """Timestamp of the earliest in-flight message (inf if none)."""
+        return self._in_flight[0][0] if self._in_flight else _INF
+
+    def _deliver_due(self, horizon: float) -> int:
+        """Move every message due strictly before ``horizon`` onto the
+        destination shard's heap as an arrival event at its exact
+        delivery timestamp (absolute-time push, not a relative delay —
+        ``(deliver - now) + now`` need not round-trip in floating
+        point, and exact timestamps are what determinism rides on)."""
+        dst = self.sharded.shard(self.dst_shard)
+        delivered = 0
+        while self._in_flight and self._in_flight[0][0] < horizon:
+            deliver, _fifo, value = heapq.heappop(self._in_flight)
+            if dst._now > deliver:
+                raise LookaheadViolation(
+                    f"{self.name}: message timestamped {deliver:.9f} "
+                    f"arrives after shard {self.dst_shard} already "
+                    f"advanced to {dst._now:.9f}; lookahead "
+                    f"({self.sharded.lookahead_s}) is not conservative"
+                )
+            wake = Event(dst)
+            wake._cb = self._make_put(value)
+            wake._state = _TRIGGERED
+            heapq.heappush(
+                dst._heap,
+                (deliver, _DEFAULT_PRIORITY, next(dst._seq), wake),
+            )
+            delivered += 1
+        self.messages_delivered += delivered
+        return delivered
+
+    def _make_put(self, value: Any) -> Callable[[Event], None]:
+        def _put(_ev: Event) -> None:
+            self.store.put(value)
+
+        return _put
+
+
+class ShardedEngine(Engine):
+    """K per-rank event loops behind the serial :class:`Engine` facade.
+
+    The sharded engine *is* shard 0 — it inherits the full engine API
+    (``process``/``event``/``timeout``/``sleep``/``all_of``/...), so a
+    host driver or a :class:`~repro.cluster.Cluster` holds one exactly
+    the way it holds a serial engine.  Shards 1..K-1 are plain member
+    engines reached via :meth:`shard`; an actor lives on the shard
+    whose engine built its events and processes.
+
+    ``mode="lockstep"`` (the default) guarantees dispatch order
+    identical to a serial engine; ``mode="window"`` runs conservative
+    lookahead rounds (see the module docstring).  Hook attributes that
+    instrumentation sets on "the engine" (``trace``, ``sleep_hook``,
+    ``pool_limit``, ``host_span``) fan out to every member so attach/
+    detach semantics match the serial engine; the ``scheduler``
+    ready-set hook (model checker / schedule control) is serial-only
+    and refuses attachment.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        mode: str = "lockstep",
+        lookahead_s: Optional[float] = None,
+    ):
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        if mode not in ("lockstep", "window"):
+            raise ValueError(f"unknown shard mode {mode!r}")
+        # Engine.__init__ assigns the fanned-out hook attributes below;
+        # the property setters consult _members, so it must exist first.
+        self._members: List[Engine] = []
+        super().__init__()
+        self._mode = mode
+        self._lookahead = lookahead_s
+        members: List[Engine] = [self]
+        for _ in range(shards - 1):
+            members.append(Engine())
+        if mode == "lockstep":
+            # One global sequence counter and no FIFO fast path: every
+            # event carries a globally comparable (time, priority, seq)
+            # key, so the coordinator's min-merge reproduces the serial
+            # dispatch order exactly.
+            for member in members[1:]:
+                member._seq = self._seq
+            for member in members:
+                member._now_queue = _HeapSpill(member)
+        self._members = members
+        self._channels: List[ShardChannel] = []
+        #: Events dispatched per shard, kept as plain ints regardless of
+        #: obs (the bench probes and tests read it; the obs counter
+        #: flush at run end reads the deltas).
+        self.events_dispatched: List[int] = [0] * shards
+        self._obs_flushed: List[int] = [0] * shards
+        #: Observability (set via the cluster by
+        #: ``repro.obs.Observability.attach``); None keeps every loop
+        #: free of per-event instrumentation cost.
+        self.obs = None
+
+    # -- topology ---------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self._members)
+
+    @property
+    def mode(self) -> str:
+        return self._mode
+
+    def shard(self, rank: int) -> Engine:
+        """The member engine for ``rank`` (shard 0 is the facade itself)."""
+        return self._members[rank]
+
+    @property
+    def shards(self) -> List[Engine]:
+        return list(self._members)
+
+    def channel(
+        self, src_shard: int, dst_shard: int, latency_s: float, name: str = ""
+    ) -> ShardChannel:
+        """Open a timestamped cross-shard channel (window mode only)."""
+        if self._mode != "window":
+            raise SimulationError(
+                "lockstep shards interact through shared state in global "
+                "event order; channels are a window-mode construct"
+            )
+        chan = ShardChannel(self, src_shard, dst_shard, latency_s, name=name)
+        self._channels.append(chan)
+        return chan
+
+    @property
+    def lookahead_s(self) -> float:
+        """The conservative window width: the explicit lookahead if one
+        was given, else the minimum channel latency (inf with no
+        channels — shards are then fully independent)."""
+        if self._lookahead is not None:
+            return self._lookahead
+        if not self._channels:
+            return _INF
+        return min(c.latency_s for c in self._channels)
+
+    def process_on(
+        self,
+        rank: int,
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> Process:
+        """Spawn a process on shard ``rank`` (rank 0: same as
+        :meth:`process`)."""
+        member = self._members[rank]
+        member.processes_started += 1
+        return Process(member, generator, name=name)
+
+    # -- hook fan-out ------------------------------------------------------
+    # Instrumentation attaches to "the engine" (this facade); hooks that
+    # member engines consult locally must reach all of them.  The
+    # setters also run from Engine.__init__ (before _members is
+    # populated), hence the slice of a possibly-empty list.
+
+    @property
+    def trace(self):
+        return self._trace_hook
+
+    @trace.setter
+    def trace(self, hook) -> None:
+        self._trace_hook = hook
+        # The coordinator calls the hook itself at dispatch, but member
+        # _PooledTimeout recycling checks ``engine.trace is None`` — the
+        # fan-out keeps event identities stable under a tracer.
+        for member in self._members[1:]:
+            member.trace = hook
+
+    @property
+    def sleep_hook(self):
+        return self._shard_sleep_hook
+
+    @sleep_hook.setter
+    def sleep_hook(self, hook) -> None:
+        self._shard_sleep_hook = hook
+        for member in self._members[1:]:
+            member.sleep_hook = hook
+
+    @property
+    def pool_limit(self) -> int:
+        return self._shard_pool_limit
+
+    @pool_limit.setter
+    def pool_limit(self, limit: int) -> None:
+        self._shard_pool_limit = limit
+        for member in self._members[1:]:
+            member.pool_limit = limit
+
+    @property
+    def host_span(self):
+        return self._shard_host_span
+
+    @host_span.setter
+    def host_span(self, span) -> None:
+        self._shard_host_span = span
+        for member in self._members[1:]:
+            member.host_span = span
+
+    @property
+    def scheduler(self):
+        return None
+
+    @scheduler.setter
+    def scheduler(self, hook) -> None:
+        if hook is not None:
+            raise SimulationError(
+                "the ready-set scheduler hook (model checking / schedule "
+                "control) requires the serial engine; run without shards"
+            )
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing on *any* shard (dispatch is
+        single-threaded, so at most one member has an active process)."""
+        for member in self._members:
+            if member._active is not None:
+                return member._active
+        return None
+
+    # -- dispatch ----------------------------------------------------------
+    def peek(self) -> float:
+        """Earliest pending timestamp across all shards and channels."""
+        t = min(Engine.peek(member) for member in self._members)
+        for chan in self._channels:
+            t = min(t, chan.peek_deliver_time())
+        return t
+
+    def step(self) -> None:
+        if self._mode != "lockstep":
+            raise SimulationError(
+                "window mode runs whole lookahead rounds; use run()"
+            )
+        if not self._step_lockstep(None):
+            raise IndexError("step from an empty schedule")
+
+    def run(self, until: Optional[float] = None) -> None:
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"until={until} is in the past (now={self._now})"
+            )
+        if self._mode == "lockstep":
+            while self._step_lockstep(until):
+                pass
+            if until is not None:
+                for member in self._members:
+                    member._now = until
+        else:
+            self._run_windows(until)
+        if self.obs is not None:
+            self._flush_obs_counters()
+
+    def _step_lockstep(self, until: Optional[float]) -> bool:
+        """Dispatch the globally least ``(time, priority, seq)`` event.
+
+        The K-way scan of heap heads is the lockstep sync protocol in
+        its entirety: with a shared seq counter the per-shard heap keys
+        are globally comparable, so "pop the least head" *is* the
+        serial dispatch order.  Seq uniqueness guarantees the tuple
+        comparison never reaches the (unorderable) Event element.
+        """
+        members = self._members
+        best = None
+        best_rank = -1
+        for rank, member in enumerate(members):
+            heap = member._heap
+            if heap and (best is None or heap[0] < best):
+                best = heap[0]
+                best_rank = rank
+        if best is None:
+            return False
+        when = best[0]
+        if until is not None and when > until:
+            return False
+        if when != self._now:
+            for member in members:
+                member._now = when
+        event = heapq.heappop(members[best_rank]._heap)[3]
+        self.events_dispatched[best_rank] += 1
+        if self._trace_hook is not None:
+            self._trace_hook(when, event)
+        event._process_callbacks()
+        return True
+
+    def _run_windows(self, until: Optional[float]) -> None:
+        """Conservative rounds: deliver due channel messages, then let
+        every shard drain its window ``[T, T + lookahead)`` in rank
+        order.
+
+        Soundness: after round *i* every shard's next event and every
+        in-flight delivery sits at or above ``horizon_i``, so round
+        *i+1* starts at ``T >= horizon_i`` and all events a shard runs
+        in a round have timestamps in ``[T, T + L)``.  A message sent
+        at time ``t >= T`` lands at ``t + latency >= T + L`` — outside
+        the window — hence no shard can be affected mid-window by a
+        sibling, and rank-order execution within a round is equivalent
+        to any other order.
+        """
+        members = self._members
+        obs = self.obs
+        lookahead = self.lookahead_s
+        if lookahead <= 0:
+            raise SimulationError(
+                "window mode needs lookahead > 0; zero lookahead means "
+                "same-instant cross-shard coupling — use lockstep mode"
+            )
+        # Events at exactly `until` still run (serial run(until=...)
+        # semantics); windows are half-open, so cap horizons just above.
+        cap = _INF if until is None else math.nextafter(until, _INF)
+        if not self._channels and self._lookahead is None:
+            # Fully independent shards: one unbounded window each (rank
+            # order — nothing couples them, but reproducibility should
+            # never rest on "order doesn't matter").
+            for rank, member in enumerate(members):
+                self.events_dispatched[rank] += member.run_window(cap)
+        else:
+            while True:
+                start = self.peek()
+                if start == _INF or (until is not None and start > until):
+                    break
+                horizon = min(start + lookahead, cap)
+                for chan in self._channels:
+                    chan._deliver_due(horizon)
+                for rank, member in enumerate(members):
+                    self.events_dispatched[rank] += member.run_window(horizon)
+                    if obs is not None:
+                        nxt = Engine.peek(member)
+                        if nxt > horizon and nxt != _INF:
+                            self._observe_stall(rank, nxt - horizon)
+        if until is not None:
+            for member in members:
+                member._now = max(member._now, until)
+
+    # -- observability -----------------------------------------------------
+    def _flush_obs_counters(self) -> None:
+        hub = self.obs.hub
+        for rank, count in enumerate(self.events_dispatched):
+            delta = count - self._obs_flushed[rank]
+            if delta:
+                hub.counter(
+                    "sim.shard.events",
+                    daemon=f"shard{rank}",
+                    mechanism=self._mode,
+                ).incr(delta)
+                self._obs_flushed[rank] = count
+
+    def _observe_stall(self, rank: int, stall_s: float) -> None:
+        self.obs.hub.histogram(
+            "sim.shard.sync_stall",
+            daemon=f"shard{rank}",
+            mechanism=self._mode,
+        ).observe(stall_s)
+
+
+# ---------------------------------------------------------------------------
+# Multiprocessing executor (channel-free populations)
+# ---------------------------------------------------------------------------
+
+
+def _run_one_shard(task: Tuple[Callable, int, int, Optional[Callable]]) -> Any:
+    """Worker body: build one shard's population, run it, summarize.
+
+    Module-level so it pickles across a spawn boundary.
+    """
+    builder, rank, num_shards, collect = task
+    engine = Engine()
+    builder(engine, rank, num_shards)
+    engine.run()
+    if collect is not None:
+        return collect(engine)
+    return {"now": engine.now, "processes_started": engine.processes_started}
+
+
+def run_shards_parallel(
+    builder: Callable[[Engine, int, int], None],
+    num_shards: int,
+    jobs: int = 1,
+    collect: Optional[Callable[[Engine], Any]] = None,
+) -> List[Any]:
+    """Run ``num_shards`` independent shard populations, optionally on a
+    process pool.
+
+    The multiprocessing executor for *channel-free* shard populations
+    (infinite lookahead): each worker builds its shard with
+    ``builder(engine, rank, num_shards)``, runs it to completion, and
+    returns ``collect(engine)`` (default: a ``now``/``processes_started``
+    summary dict).  Results come back in rank order, so ``jobs=N`` is
+    byte-identical to ``jobs=1``.  Coupled shards need the
+    single-process window coordinator — per-round IPC would cost more
+    than it buys (see docs/PERFORMANCE.md).
+
+    Falls back to in-process execution when ``jobs <= 1``, when the
+    builder/collector does not pickle, or when workers cannot be
+    spawned — mirroring ``repro.bench.harness.parallel_map``.
+    """
+    if num_shards < 1:
+        raise ValueError(f"need at least one shard, got {num_shards}")
+    tasks = [(builder, rank, num_shards, collect) for rank in range(num_shards)]
+    jobs = min(max(1, int(jobs)), num_shards)
+    if jobs > 1:
+        import pickle
+
+        try:
+            pickle.dumps((builder, collect))
+        except Exception:
+            jobs = 1
+    if jobs <= 1:
+        return [_run_one_shard(task) for task in tasks]
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    try:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            return list(pool.map(_run_one_shard, tasks))
+    except (OSError, BrokenProcessPool):
+        return [_run_one_shard(task) for task in tasks]

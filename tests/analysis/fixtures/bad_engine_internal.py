@@ -1,0 +1,14 @@
+"""Fixture: code outside repro.sim reaching into Engine internals."""
+
+
+def peek_next_event(engine):
+    return engine._heap[0]
+
+
+def drain_fast_path(engine):
+    while engine._now_queue:
+        engine._now_queue.popleft()
+
+
+def steal_sequence(engine):
+    return next(engine._seq)

@@ -18,6 +18,7 @@ RULE_FIXTURES = {
     "shared-state": "bad_shared_state.py",
     "hash-order-key": "bad_hash_order_key.py",
     "unsorted-listdir": "bad_unsorted_listdir.py",
+    "engine-internal-access": "bad_engine_internal.py",
 }
 
 
@@ -130,6 +131,14 @@ def test_cli_rules_and_usage(capsys):
     assert cli_main(["lint"]) == 2
     assert cli_main(["lint", "--rules"]) == 2
     assert cli_main([str(FIXTURES / "no_such_file.py")]) == 2
+
+
+def test_engine_internal_access_exempt_inside_sim_kernel():
+    src = "def f(engine):\n    return engine._heap[0]\n"
+    # The kernel package owns the fields; everyone else is flagged.
+    assert lint_source(src, "src/repro/sim/shard.py").ok
+    report = lint_source(src, "src/repro/mds/server.py")
+    assert [f.rule for f in report.findings] == ["engine-internal-access"]
 
 
 def test_sorted_listings_and_stable_keys_are_clean():

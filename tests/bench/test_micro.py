@@ -23,6 +23,10 @@ _EXPECTED = [
     "journal_replay",
     "local_persist_events",
     "segment_scan_events",
+    "actors_10k_serial",
+    "actors_10k_sharded",
+    "actors_100k_serial",
+    "actors_100k_sharded",
 ]
 
 

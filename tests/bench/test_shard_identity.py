@@ -1,0 +1,47 @@
+"""Sharded bench runs produce byte-identical artifacts.
+
+The lockstep guarantee at the system level: a full experiment driven on
+a ``REPRO_SHARDS=2`` cluster writes the same BENCH artifact, byte for
+byte, as the serial run (wallclock records are excluded — host wall
+time is the one thing sharding is *supposed* to change).
+"""
+
+import pytest
+
+from repro.bench import harness
+
+
+@pytest.fixture(autouse=True)
+def _reset_default_jobs():
+    yield
+    harness._default_jobs = None
+
+
+def _artifacts(dir_path):
+    return sorted(
+        p for p in dir_path.iterdir() if p.name != "BENCH_wallclock.json"
+    )
+
+
+def test_fig6c_byte_identical_under_shards(tmp_path, monkeypatch, capsys):
+    from repro.bench.__main__ import main
+
+    monkeypatch.setenv("REPRO_SCALE", "tiny")
+    # ``--shards`` exports REPRO_SHARDS; setenv records the pre-test
+    # value so teardown undoes the export ("" parses as serial).
+    monkeypatch.setenv("REPRO_SHARDS", "")
+    serial = tmp_path / "serial"
+    sharded = tmp_path / "sharded"
+    assert main(["--json", str(serial), "fig6c"]) == 0
+    assert main(["--json", str(sharded), "--shards", "2", "fig6c"]) == 0
+    a, b = _artifacts(serial), _artifacts(sharded)
+    assert [p.name for p in a] == [p.name for p in b] == ["fig6c.json"]
+    assert a[0].read_bytes() == b[0].read_bytes()
+
+
+def test_shards_flag_validation(tmp_path, monkeypatch, capsys):
+    from repro.bench.__main__ import main
+
+    monkeypatch.delenv("REPRO_SHARDS", raising=False)
+    assert main(["--shards"]) == 2
+    assert main(["--shards", "not-a-number"]) == 2

@@ -1,0 +1,353 @@
+"""The sharded simulation core: lockstep identity, window conservatism.
+
+The load-bearing guarantees, test-enforced:
+
+* lockstep dispatch is *event-for-event identical* to a serial engine
+  for entangled cross-shard workloads (shared stores, ties in time);
+* window mode never lets a cross-shard message land in a shard's
+  executed past — driven adversarially with an unsound (too-large)
+  declared lookahead, and property-tested across seeds with a sound one;
+* the multiprocessing executor returns rank-ordered results, so
+  ``jobs=N`` is identical to ``jobs=1``.
+"""
+
+import pytest
+
+from repro.cluster import _shards_from_env
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.resources import Store
+from repro.sim.shard import (
+    LookaheadViolation,
+    ShardedEngine,
+    run_shards_parallel,
+)
+
+# ---------------------------------------------------------------------------
+# lockstep: serial-identical dispatch
+# ---------------------------------------------------------------------------
+
+
+def _entangled_workload(engine_for, log, num_actors=12, hops=6):
+    """Cross-shard producers/consumers with deliberate timestamp ties."""
+    stores = [Store(engine_for(k), name=f"mbox{k}") for k in range(3)]
+
+    def actor(i):
+        eng = engine_for(i)
+        for h in range(hops):
+            # Coarse periods force many same-instant events across
+            # shards — exactly where dispatch order could diverge.
+            yield eng.sleep(((i * 7 + h * 3) % 5 + 1) * 0.25)
+            log.append(("tick", i, h, eng.now))
+            stores[i % 3].put((i, h))
+
+    def consumer(k):
+        eng = engine_for(k)
+        while True:
+            item = yield stores[k].get()
+            log.append(("got", k, item, eng.now))
+
+    for i in range(num_actors):
+        engine_for(i).process(actor(i), name=f"actor{i}")
+    for k in range(3):
+        engine_for(k).process(consumer(k), name=f"consumer{k}")
+
+
+def _run_serial():
+    engine = Engine()
+    log = []
+    _entangled_workload(lambda i: engine, log)
+    engine.run()
+    return log, engine.now
+
+
+@pytest.mark.parametrize("shards", [2, 3, 4])
+def test_lockstep_is_event_for_event_identical_to_serial(shards):
+    serial_log, serial_now = _run_serial()
+    sharded = ShardedEngine(shards)
+    log = []
+    _entangled_workload(lambda i: sharded.shard(i % shards), log)
+    sharded.run()
+    assert log == serial_log
+    assert sharded.now == serial_now
+    assert sum(sharded.events_dispatched) > 0
+    # Work actually spread across the shards.
+    assert sum(1 for n in sharded.events_dispatched if n) == shards
+
+
+def test_lockstep_trace_hook_sees_the_serial_order():
+    serial = Engine()
+    serial_log = []
+    _entangled_workload(lambda i: serial, serial_log)
+    serial_times = []
+    serial.trace = lambda when, event: serial_times.append(when)
+    serial.run()
+
+    sharded = ShardedEngine(3)
+    log = []
+    _entangled_workload(lambda i: sharded.shard(i % 3), log)
+    times = []
+    sharded.trace = hook = lambda when, event: times.append(when)
+    sharded.run()
+    assert times == serial_times
+    # The hook fanned out to every member (timeout-pool recycling
+    # consults it locally).
+    assert all(m.trace is hook for m in sharded.shards)
+
+
+def test_lockstep_run_until_and_step_match_serial_semantics():
+    sharded = ShardedEngine(2)
+
+    def ticker(eng):
+        while True:
+            yield eng.sleep(1.0)
+
+    sharded.process_on(0, ticker(sharded.shard(0)))
+    sharded.process_on(1, ticker(sharded.shard(1)))
+    sharded.run(until=3.5)
+    assert sharded.now == 3.5
+    assert all(m.now == 3.5 for m in sharded.shards)
+    assert sum(sharded.events_dispatched) == 3 * 2 + 2  # ticks + starts
+    with pytest.raises(SimulationError):
+        sharded.run(until=1.0)  # the past
+    sharded.step()  # next tick pair exists
+    assert sharded.now == 4.0
+
+
+def test_lockstep_refuses_window_constructs():
+    sharded = ShardedEngine(2)
+    with pytest.raises(SimulationError):
+        sharded.channel(0, 1, latency_s=0.5)
+
+
+def test_scheduler_hook_refuses_sharded_engines():
+    sharded = ShardedEngine(2)
+    sharded.scheduler = None  # clearing is a no-op, as on a serial engine
+    with pytest.raises(SimulationError):
+        sharded.scheduler = lambda ready: ready[0]
+
+
+# ---------------------------------------------------------------------------
+# window mode: conservative lookahead rounds
+# ---------------------------------------------------------------------------
+
+
+def test_window_channel_delivers_at_exact_latency_in_fifo_order():
+    sharded = ShardedEngine(2, mode="window")
+    chan = sharded.channel(0, 1, latency_s=0.5)
+    received = []
+
+    def producer(eng):
+        for n in range(4):
+            chan.push(("msg", n))
+            yield eng.sleep(1.0)
+
+    def consumer(eng):
+        while True:
+            item = yield chan.store.get()
+            received.append((item, eng.now))
+
+    sharded.process_on(0, producer(sharded.shard(0)))
+    sharded.process_on(1, consumer(sharded.shard(1)))
+    sharded.run()
+    assert received == [
+        ((("msg", n)), n * 1.0 + 0.5) for n in range(4)
+    ]
+    assert chan.messages_sent == chan.messages_delivered == 4
+
+
+def test_window_free_run_counts_every_event():
+    sharded = ShardedEngine(4, mode="window")
+
+    def actor(eng, hops):
+        for _ in range(hops):
+            yield eng.sleep(0.1)
+
+    for i in range(40):
+        rank = i % 4
+        sharded.process_on(rank, actor(sharded.shard(rank), hops=5))
+    sharded.run()
+    # Per actor: 1 start event + 5 timeouts + 1 completion event.
+    assert sum(sharded.events_dispatched) == 40 * 7
+    assert sharded.events_dispatched == [70] * 4
+
+
+def test_window_run_until_stops_and_advances_clocks():
+    sharded = ShardedEngine(2, mode="window")
+    ticks = []
+
+    def ticker(eng, label):
+        while True:
+            yield eng.sleep(1.0)
+            ticks.append((label, eng.now))
+
+    sharded.process_on(0, ticker(sharded.shard(0), "a"))
+    sharded.process_on(1, ticker(sharded.shard(1), "b"))
+    sharded.run(until=2.5)
+    assert sorted(ticks) == [("a", 1.0), ("a", 2.0), ("b", 1.0), ("b", 2.0)]
+    assert all(m.now == 2.5 for m in sharded.shards)
+
+
+def test_window_rejects_nonpositive_lookahead():
+    sharded = ShardedEngine(2, mode="window", lookahead_s=0.0)
+
+    def body(eng):
+        yield eng.sleep(1.0)
+
+    sharded.process_on(0, body(sharded.shard(0)))
+    with pytest.raises(SimulationError):
+        sharded.run()
+
+
+def test_channel_validation():
+    sharded = ShardedEngine(2, mode="window")
+    with pytest.raises(ValueError):
+        sharded.channel(0, 0, latency_s=0.5)  # same shard
+    with pytest.raises(ValueError):
+        sharded.channel(0, 1, latency_s=0.0)  # zero latency
+    chan = sharded.channel(0, 1, latency_s=0.5)
+    with pytest.raises(ValueError):
+        chan.push("x", extra_delay_s=-1.0)
+
+
+def test_unsound_declared_lookahead_is_caught_not_absorbed():
+    """An explicit lookahead wider than the narrowest channel latency is
+    a configuration error; the coordinator must detect the resulting
+    in-the-past delivery instead of silently reordering."""
+    sharded = ShardedEngine(2, mode="window", lookahead_s=5.0)
+    chan = sharded.channel(0, 1, latency_s=0.5)
+
+    def producer(eng):
+        chan.push("late")
+        yield eng.sleep(10.0)
+
+    def busy(eng):
+        for _ in range(4):
+            yield eng.sleep(1.0)  # advances shard 1 past t=0.5
+
+    sharded.process_on(0, producer(sharded.shard(0)))
+    sharded.process_on(1, busy(sharded.shard(1)))
+    with pytest.raises(LookaheadViolation):
+        sharded.run()
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5, 6, 7])
+def test_property_lookahead_never_violates_event_ordering(seed):
+    """Across seeded workloads with sound lookahead, every message is
+    received at exactly ``send_time + latency``, in timestamp order, and
+    no LookaheadViolation fires."""
+    latency = 0.25 + 0.05 * (seed % 3)
+    sharded = ShardedEngine(3, mode="window")
+    forward = sharded.channel(0, 1, latency_s=latency)
+    backward = sharded.channel(1, 2, latency_s=latency * 2)
+    received = {1: [], 2: []}
+
+    def noise(eng, salt):
+        # Deterministic pseudo-random sleeps (no global RNG in sim code).
+        x = (seed * 9973 + salt * 37) % 91 + 1
+        for _ in range(20):
+            x = (x * 48271) % 2147483647
+            yield eng.sleep((x % 13 + 1) * latency / 7.0)
+
+    def producer(eng):
+        x = seed + 1
+        for n in range(15):
+            x = (x * 48271) % 2147483647
+            yield eng.sleep((x % 9 + 1) * latency / 5.0)
+            forward.push((n, eng.now))
+
+    def relay(eng):
+        while True:
+            item = yield forward.store.get()
+            received[1].append((item, eng.now))
+            backward.push(item)
+
+    def sink(eng):
+        while True:
+            item = yield backward.store.get()
+            received[2].append((item, eng.now))
+
+    sharded.process_on(0, producer(sharded.shard(0)))
+    sharded.process_on(1, relay(sharded.shard(1)))
+    sharded.process_on(2, sink(sharded.shard(2)))
+    for rank in range(3):
+        sharded.process_on(rank, noise(sharded.shard(rank), rank))
+    sharded.run()
+
+    assert [item[0] for item, _ in received[1]] == list(range(15))
+    assert [item[0] for item, _ in received[2]] == list(range(15))
+    for (n, sent_at), got_at in received[1]:
+        assert got_at == pytest.approx(sent_at + latency, abs=0, rel=0)
+    # Receive timestamps are monotone: delivery respected global order.
+    for log in received.values():
+        times = [t for _, t in log]
+        assert times == sorted(times)
+    assert forward.messages_delivered == backward.messages_delivered == 15
+
+
+def test_mode_and_shard_count_validation():
+    with pytest.raises(ValueError):
+        ShardedEngine(0)
+    with pytest.raises(ValueError):
+        ShardedEngine(2, mode="optimistic")
+
+
+# ---------------------------------------------------------------------------
+# multiprocessing executor
+# ---------------------------------------------------------------------------
+
+
+def _parallel_builder(engine, rank, num_shards):
+    def body():
+        for h in range(rank + 3):
+            yield engine.sleep(0.5 * (h + 1))
+
+    engine.process(body(), name=f"shard{rank}")
+
+
+def _parallel_collect(engine):
+    return {"now": engine.now, "started": engine.processes_started}
+
+
+def test_run_shards_parallel_rank_order_identity():
+    serial = run_shards_parallel(
+        _parallel_builder, 4, jobs=1, collect=_parallel_collect
+    )
+    fanned = run_shards_parallel(
+        _parallel_builder, 4, jobs=2, collect=_parallel_collect
+    )
+    assert serial == fanned
+    assert [r["started"] for r in serial] == [1, 1, 1, 1]
+    # now == sum of the rank's sleeps: 0.5 * (1 + ... + rank+3)
+    assert serial[0]["now"] == 0.5 * (1 + 2 + 3)
+
+
+def test_run_shards_parallel_unpicklable_falls_back_in_process():
+    seen = []
+
+    def builder(engine, rank, num_shards):  # closure: not picklable
+        seen.append(rank)
+
+    results = run_shards_parallel(builder, 3, jobs=3)
+    assert seen == [0, 1, 2]
+    assert [r["now"] for r in results] == [0.0, 0.0, 0.0]
+    with pytest.raises(ValueError):
+        run_shards_parallel(builder, 0)
+
+
+# ---------------------------------------------------------------------------
+# environment lever
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("raw,expected", [
+    ("", None), ("  ", None), ("garbage", None), ("1", None), ("0", None),
+    ("-3", None), ("2", 2), (" 4 ", 4), ("16", 16),
+])
+def test_shards_from_env_parsing(monkeypatch, raw, expected):
+    monkeypatch.setenv("REPRO_SHARDS", raw)
+    assert _shards_from_env() == expected
+
+
+def test_shards_from_env_unset(monkeypatch):
+    monkeypatch.delenv("REPRO_SHARDS", raising=False)
+    assert _shards_from_env() is None
