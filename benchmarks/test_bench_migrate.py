@@ -1,0 +1,24 @@
+"""Migration: client-observed latency through a live subtree handoff."""
+
+import pytest
+
+from repro.bench.experiments import migrate
+from repro.bench.report import format_result
+
+from benchmarks.conftest import record
+
+
+def test_bench_migrate(benchmark, scale):
+    result = benchmark.pedantic(lambda: migrate(scale), rounds=1, iterations=1)
+    print("\n" + format_result(result))
+    record(benchmark, result)
+    p50, p99 = result.get("p50"), result.get("p99")
+    # The handoff costs latency only inside its own window, and the
+    # spike is bounded (a freeze + transfer + one redirect round trip,
+    # not seconds of unavailability).
+    assert p99.at("during") > 2 * p99.at("before")
+    assert p99.at("during") < 100.0  # ms
+    # Traffic never stops, and the new authority serves at the old
+    # baseline.
+    assert p50.at("after") == pytest.approx(p50.at("before"), rel=0.05)
+    assert all(n > 0 for n in result.meta["window_ops"].values())

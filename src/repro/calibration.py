@@ -53,6 +53,7 @@ __all__ = [
     "GLOBAL_PERSIST_EVENT_S",
     "REVOKE_CPU_S",
     "REJECT_CPU_S",
+    "REDIRECT_CPU_S",
     "CAP_RECALL_S",
     "SERVICE_JITTER_CV",
     "FORK_BASE_S",
@@ -207,6 +208,13 @@ REVOKE_CPU_S = 1.0e-3
 #: reject path runs most of the dispatch path, so it costs nearly a
 #: full service.
 REJECT_CPU_S = 0.8 * MDS_SERVICE_S
+
+#: MDS CPU to answer a request for a subtree this rank no longer owns
+#: with a redirect to the new authority.  The redirect short-circuits
+#: before any namespace work — path resolution plus a reply — so it is
+#: cheaper than the -EBUSY reject path (which runs most of the dispatch
+#: pipeline) but not free.
+REDIRECT_CPU_S = 0.25 * MDS_SERVICE_S
 
 #: Coefficient of variation for per-op service jitter; produces the
 #: run-to-run error bars of Figures 3b/6b.

@@ -201,7 +201,6 @@ class Client:
             while True:
                 try:
                     response = yield from self._exchange(mds, request)
-                    break
                 except TRANSIENT_ERRORS as exc:
                     self.stats.counter("rpc_failures").incr()
                     if attempt >= self.retry.max_retries:
@@ -220,6 +219,27 @@ class Client:
                     backoff = min(
                         backoff * self.retry.multiplier, self.retry.max_backoff_s
                     )
+                else:
+                    if response.redirect is None:
+                        break
+                    # Stale rank: the subtree migrated while we were
+                    # talking to its old authority.  Re-resolve the
+                    # target and retry on the same bounded-backoff
+                    # budget as transient failures.
+                    self.stats.counter("redirects").incr()
+                    if attempt >= self.retry.max_retries:
+                        self.stats.counter("rpc_giveups").incr()
+                        if rec is not None:
+                            rec.record_complete(
+                                self.name, op_ids, False, error=response.error
+                            )
+                        return response
+                    attempt += 1
+                    yield self.engine.sleep(backoff)
+                    backoff = min(
+                        backoff * self.retry.multiplier, self.retry.max_backoff_s
+                    )
+                    mds = self._target(request.path)
             self.stats.counter("rpcs_sent").incr(op_count * max(1, response.rpcs))
             if response.rpcs > 1:
                 # The MDS made us look up remotely before each create; pay the

@@ -28,7 +28,7 @@ order, and therefore every artifact, is byte-identical to a serial run
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro import calibration as cal
 from repro.client.client import Client
@@ -118,14 +118,18 @@ class Cluster:
             for rank in range(num_mds)
         ]
         self.mon = Monitor(self.engine, self.network)
-        #: Static subtree partitioning: path -> MDS rank (rank 0 is the
-        #: authority for everything unassigned).
-        self._mds_map: Dict[str, int] = {}
         # Daemons subscribe to policy-map updates; every MDS resolves
-        # subtree policies through the monitor's map.
-        for mds in self.mds_list:
+        # subtree policies through the monitor's map.  Multi-rank
+        # clusters additionally wire the monitor's MDS authority map so
+        # a rank can redirect requests for subtrees it no longer owns
+        # (subtree migration); the single-MDS request path is untouched.
+        for rank, mds in enumerate(self.mds_list):
             self.mon.subscribe(mds.name)
             mds.policy_resolver = self.mon.resolve
+            mds.subtree_resolver = self.mon.subtree_entry
+            mds.rank = rank
+            if num_mds > 1:
+                mds.authority_resolver = self.mon.authority_of
         for osd in self.objstore.osds:
             self.mon.subscribe(osd.name)
         self._clients: List[Client] = []
@@ -151,6 +155,9 @@ class Cluster:
             return cfg
         clone = MDSConfig(**vars(cfg))
         clone.seed = cfg.seed + 7919 * rank  # independent jitter streams
+        # Disjoint per-rank inode bases: a migrated InoTable range can
+        # never overlap the destination's own allocations.
+        clone.ino_base = (1 << 20) + rank * (1 << 40)
         return clone
 
     # -- MDS rank access -------------------------------------------------
@@ -164,25 +171,29 @@ class Cluster:
         return len(self.mds_list)
 
     def assign_subtree_mds(self, path: str, rank: int) -> None:
-        """Pin a subtree to an MDS rank (static Mantle-style partition)."""
+        """Pin a subtree to an MDS rank (static Mantle-style partition).
+
+        The assignment lives in the monitor's MDS authority map, so it
+        survives MDS crashes and can be retargeted at runtime by a live
+        subtree migration (:func:`repro.mds.migrate.migrate_subtree`).
+        """
         if not 0 <= rank < len(self.mds_list):
             raise ValueError(f"no MDS rank {rank}")
-        if not path.startswith("/"):
-            raise ValueError("subtree paths must be absolute")
-        norm = "/" + "/".join(p for p in path.split("/") if p)
-        self._mds_map[norm] = rank
+        self.mon.assign_authority(path, rank)
 
     def mds_for(self, path: str) -> MetadataServer:
         """The MDS authoritative for ``path`` (nearest assigned ancestor)."""
-        if not self._mds_map:
-            return self.mds_list[0]
-        probe = "/" + "/".join(p for p in path.split("/") if p)
-        while True:
-            if probe in self._mds_map:
-                return self.mds_list[self._mds_map[probe]]
-            if probe == "/":
-                return self.mds_list[0]
-            probe = probe.rsplit("/", 1)[0] or "/"
+        return self.mds_list[self.mon.authority_of(path)]
+
+    def move_endpoint_shard(self, endpoint: str, shard: int) -> None:
+        """Re-pin a network endpoint to another shard (no-op on a serial
+        cluster).  Subtree migration uses this to co-locate a redirected
+        client with its new authority; the endpoint's cached links are
+        retired and re-created lazily on the new shard."""
+        if self.shard_router is None:
+            return
+        self.shard_router.reassign(endpoint, shard % self.num_shards)
+        self.network.rehome(endpoint)
 
     # -- client factories ---------------------------------------------------
     def new_client(self, retry=None) -> Client:

@@ -43,6 +43,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="run the corrupted-recovery drill "
                         "(durability x fault mode) instead of the "
                         "semantics matrix")
+    parser.add_argument("--migrate", action="store_true",
+                        help="run each matrix cell on a two-rank cluster "
+                        "with a live subtree migration injected mid-run "
+                        "(the migration drill); verdict criteria are "
+                        "unchanged")
     parser.add_argument("--out", metavar="FILE",
                         help="write the JSON verdict artifact here")
     parser.add_argument("--histories", action="store_true",
@@ -73,6 +78,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 )
             cells.append((a, b))
 
+    if args.corruption and args.migrate:
+        parser.error("--migrate applies to the semantics matrix, "
+                     "not the corruption drill")
     if args.corruption:
         report = run_corruption_drill(
             seed=args.seed, jobs=args.jobs, cells=cells, obs=args.obs
@@ -90,7 +98,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                  else "violations found"))
     else:
         report = run_matrix(seed=args.seed, jobs=args.jobs, cells=cells,
-                            obs=args.obs)
+                            obs=args.obs, migrate=args.migrate)
         for verdict in report["cells"]:
             status = "ok" if verdict["ok"] else "FAIL"
             print(
@@ -99,7 +107,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
             for violation in verdict["violations"]:
                 print(f"    {violation['code']}: {violation['message']}")
-        print(f"matrix seed={report['seed']}: "
+        label = "migration drill" if args.migrate else "matrix"
+        print(f"{label} seed={report['seed']}: "
               + ("all cells conform" if report["ok"]
                  else "violations found"))
     if args.out:

@@ -53,6 +53,8 @@ VIOLATION_CODES = (
     "model-divergence",
     "strict-merge-unapplied",
     "strict-global-unflushed",
+    "migrate-incomplete-handoff",
+    "migrate-dual-authority",
 )
 
 
@@ -90,6 +92,11 @@ def _mds_actors(history: History) -> set:
             actors.add(e.actor)
         elif e.kind == "crash" and "journal_events_lost" in e.detail:
             actors.add(e.actor)
+        elif e.kind == "migrate":
+            for role in ("src", "dst"):
+                name = e.detail.get(role)
+                if name:
+                    actors.add(name)
     return actors
 
 
@@ -540,15 +547,132 @@ def _check_strict_persist(
 
 
 # ---------------------------------------------------------------------------
+# migrations
+# ---------------------------------------------------------------------------
+
+
+def _covering_subtree(path: Optional[str], authority: Dict[str, str]):
+    """The most specific migrated subtree covering ``path``, if any."""
+    if not path:
+        return None
+    best = None
+    for sub in authority:
+        if path == sub or path.startswith(sub.rstrip("/") + "/"):
+            if best is None or len(sub) > len(best):
+                best = sub
+    return best
+
+
+def _foreign_to(path: Optional[str], actor: str,
+                authority: Dict[str, str]) -> bool:
+    """Whether ``path`` lies in a migrated subtree owned by another
+    actor (``actor``'s copy of it is stale and unobservable)."""
+    sub = _covering_subtree(path, authority)
+    return sub is not None and authority[sub] != actor
+
+
+def _track_authority(e: HistoryEvent, authority: Dict[str, str],
+                     pending: Dict[str, HistoryEvent]) -> None:
+    """Advance the subtree->authority map through one migrate record."""
+    phase = e.detail.get("phase")
+    if phase == "begin":
+        # Before its first migration the subtree's authority is the
+        # migration's source.
+        authority.setdefault(e.path, e.detail.get("src"))
+        pending[e.path] = e
+    elif phase == "commit":
+        pending.pop(e.path, None)
+        authority[e.path] = e.detail.get("dst")
+    elif phase == "abort":
+        pending.pop(e.path, None)
+
+
+def _check_migrations(
+    history: History, mds_actors: set, out: List[Violation]
+) -> None:
+    """Exactly-one-authority over live subtree migrations.
+
+    Every ``begin`` must be closed by a ``commit`` or an ``abort``
+    (``migrate-incomplete-handoff`` — e.g. a dropped IMPORT_ACK leaves
+    the handoff dangling), and once a migration commits, only the new
+    authority may make updates under the subtree visible
+    (``migrate-dual-authority``).
+    """
+    authority: Dict[str, str] = {}
+    pending: Dict[str, HistoryEvent] = {}
+    for e in history:
+        if e.kind == "migrate":
+            _track_authority(e, authority, pending)
+        elif e.kind == "visible" and authority and e.actor in mds_actors:
+            sub = _covering_subtree(e.path, authority)
+            if sub is not None and authority[sub] != e.actor:
+                out.append(Violation(
+                    "migrate-dual-authority",
+                    f"{e.actor} made {e.op} {e.path} visible but "
+                    f"{authority[sub]} holds the authority for {sub}",
+                    t=e.t, path=e.path,
+                ))
+    for sub in sorted(pending):
+        e = pending[sub]
+        out.append(Violation(
+            "migrate-incomplete-handoff",
+            f"migration of {sub} from {e.detail.get('src')} to "
+            f"{e.detail.get('dst')} began at t={e.t} but never committed "
+            "or aborted",
+            t=e.t, path=sub,
+        ))
+
+
+# ---------------------------------------------------------------------------
 # model replay
 # ---------------------------------------------------------------------------
+
+
+def _commits_next(history: History, idx: int, sub: str) -> bool:
+    """Whether ``sub``'s in-flight migration goes on to commit — i.e.
+    the next migrate record for ``sub`` after position ``idx`` is a
+    commit.  Used at a mid-handoff source crash: a committing handoff
+    means the subtree's state had already moved to the destination."""
+    for e in history.events[idx + 1:]:
+        if e.kind == "migrate" and e.path == sub:
+            return e.detail.get("phase") == "commit"
+    return False
+
+
+def _carry_subtrees(old: ReferenceModel, subs: List[str]) -> ReferenceModel:
+    """A fresh model seeded with ``old``'s entries under ``subs`` (the
+    migrated subtrees an MDS crash did *not* wipe, because their
+    authority — and their state — lives on another rank)."""
+    fresh = ReferenceModel()
+    for sub in sorted(subs):
+        prefix = sub.rstrip("/") + "/"
+        for path in sorted(old.nodes):
+            if path != sub and not path.startswith(prefix):
+                continue
+            parent = path.rsplit("/", 1)[0] or "/"
+            if parent not in fresh.nodes:
+                fresh.ensure_dirs(parent)
+            node = old.nodes[path]
+            fresh.nodes[path] = node
+            if node.ino:
+                fresh.used_inos.add(node.ino)
+    return fresh
 
 
 def _check_model(
     history: History, subtree: str, mds_actors: set, out: List[Violation]
 ) -> None:
     """Replay the visible history through the reference model and hold
-    the end-of-run snapshot to the model's namespace."""
+    the end-of-run snapshot to the model's namespace.
+
+    Histories with ``migrate`` records get authority-aware crash
+    semantics: a crash wipes only the state the crashed rank was
+    authoritative for (migrated-away subtrees survive on their new
+    rank), and journal-replay recovery applies only the updates the
+    recovering rank still owns — its copy of a migrated-away subtree is
+    stale and unobservable behind the redirect.  Histories without
+    migrate records replay exactly as before.
+    """
     model = ReferenceModel()
     # The subtree root is usually admin-created (Cudele._ensure_path,
     # which is invisible to the history); seed it unless the history
@@ -558,9 +682,21 @@ def _check_model(
         for e in history
     ):
         model.ensure_dirs(subtree)
+    migrated = any(e.kind == "migrate" for e in history)
+    authority: Dict[str, str] = {}
+    pending: Dict[str, HistoryEvent] = {}
+    if migrated:
+        # Seed each migrated subtree's pre-handoff owner up front, so a
+        # crash of some *other* rank before the begin record does not
+        # wipe the subtree from the model.
+        for e in history:
+            if e.kind == "migrate":
+                authority.setdefault(e.path, e.detail.get("src"))
     snapshot: Optional[HistoryEvent] = None
-    for e in history:
-        if e.kind == "visible":
+    for i, e in enumerate(history):
+        if e.kind == "migrate":
+            _track_authority(e, authority, pending)
+        elif e.kind == "visible":
             ok, code = model.apply(
                 e.op, e.path, ino=e.ino or 0, target=e.target
             )
@@ -572,11 +708,31 @@ def _check_model(
                     t=e.t, path=e.path,
                 ))
         elif e.kind == "crash" and e.actor in mds_actors:
-            # The MDS's in-memory store died; the model mirrors it.
-            model = ReferenceModel()
+            # The MDS's in-memory store died; the model mirrors it —
+            # except for migrated subtrees whose authority (and state)
+            # lives on a rank that did not crash.
+            if migrated and authority:
+                preserved = {
+                    sub for sub, owner in authority.items()
+                    if owner != e.actor
+                }
+                # Mid-handoff crash of the source rank: if the handoff
+                # goes on to commit, the subtree's state had already
+                # been handed to the destination and survives.
+                for sub in sorted(pending):
+                    if (authority.get(sub) == e.actor
+                            and _commits_next(history, i, sub)):
+                        preserved.add(sub)
+                model = _carry_subtrees(model, sorted(preserved))
+            else:
+                model = ReferenceModel()
         elif e.kind == "recovered" and e.actor in mds_actors:
             # Journal replay runs in the tool's skip-errors recovery
-            # mode; the model replays under the same rule.
+            # mode; the model replays under the same rule.  A rank's
+            # replayed copy of a subtree that migrated away is stale
+            # and unobservable (requests redirect) — skip it.
+            if migrated and _foreign_to(e.path, e.actor, authority):
+                continue
             model.apply(e.op, e.path, ino=e.ino or 0, target=e.target)
         elif e.kind == "snapshot":
             snapshot = e
@@ -647,6 +803,7 @@ def check_history(
                 _check_strict_merge(history, owner, owner_client, violations)
             if (consistency, durability) == ("strong", "global"):
                 _check_strict_persist(history, owner, mds_actors, violations)
+    _check_migrations(history, mds_actors, violations)
     _check_model(history, subtree, mds_actors, violations)
 
     verdict = {

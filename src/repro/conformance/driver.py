@@ -107,9 +107,16 @@ def _crash_recover(cluster, target: str, mode: str,
 
 
 def run_cell(task: Tuple) -> Dict:
-    """Run one (consistency, durability, seed[, obs]) scenario; returns
-    a dict with the checker ``verdict`` and the canonical ``history``
-    text (plus an ``obs`` summary when the 4th task element is true).
+    """Run one (consistency, durability, seed[, obs[, migrate]])
+    scenario; returns a dict with the checker ``verdict`` and the
+    canonical ``history`` text (plus an ``obs`` summary when the 4th
+    task element is true).
+
+    A true 5th task element runs the cell on a two-rank cluster and
+    injects one live subtree migration (rank 0 -> 1) between the owner
+    crash drill and burst two — the namespace moves mid-run, with the
+    same workload, mechanisms and verdict machinery on top.  Without
+    the flag the single-MDS path is character-for-character unchanged.
 
     Top-level and picklable so :func:`parallel_map` can fan the matrix
     out over processes; the output contains no wall-clock state, so
@@ -117,9 +124,13 @@ def run_cell(task: Tuple) -> Dict:
     """
     consistency, durability, seed = task[:3]
     with_obs = bool(task[3]) if len(task) > 3 else False
+    migrate = bool(task[4]) if len(task) > 4 else False
     cluster = Cluster(
-        seed=seed, mds_config=MDSConfig(segment_events=SEGMENT_EVENTS)
+        seed=seed, mds_config=MDSConfig(segment_events=SEGMENT_EVENTS),
+        num_mds=2 if migrate else 1,
     )
+    if migrate:
+        cluster.assign_subtree_mds(SUBTREE, 0)
     recorder = HistoryRecorder.attach(cluster)
     obs = None
     if with_obs:
@@ -151,13 +162,28 @@ def run_cell(task: Tuple) -> Dict:
             )
         else:
             _crash_recover(cluster, owner, mode="local")
+        if migrate:
+            # The tentpole drill: hand the live subtree to rank 1 while
+            # the workload is mid-run.  Burst two and every completion
+            # mechanism below then lands on the new authority (clients
+            # follow redirects; MechanismContext re-resolves per call).
+            from repro.mds.migrate import migrate_subtree
+
+            res = cluster.run(migrate_subtree(cluster, SUBTREE, 1))
+            if res.status != "done":
+                raise RuntimeError(
+                    f"mid-run migration failed: {res.status} {res.reason}"
+                )
         _run_burst(cluster, worker, rng, tracked, 1)
         cluster.run(ns.finalize())
         if (consistency, durability) == ("strong", "global"):
             # The journal-replay drill: the MDS's memory dies after the
             # Stream flush; recovery must rebuild from the object store.
-            _crash_recover(cluster, cluster.mds.name, mode="local")
-        recorder.record_snapshot(cluster.mds, SUBTREE)
+            target = cluster.mds_for(SUBTREE) if migrate else cluster.mds
+            _crash_recover(cluster, target.name, mode="local")
+        recorder.record_snapshot(
+            cluster.mds_for(SUBTREE) if migrate else cluster.mds, SUBTREE
+        )
 
         verdict = check_history(
             recorder.history, consistency, durability,
@@ -288,6 +314,7 @@ def run_matrix(
     jobs: Optional[int] = None,
     cells: Sequence[Tuple[str, str]] = CELLS,
     obs: bool = False,
+    migrate: bool = False,
 ) -> Dict:
     """Check every requested cell under one seed; returns the report.
 
@@ -295,8 +322,12 @@ def run_matrix(
     tracing chained over the history recorder) and the report gains a
     per-cell ``obs`` section.  Verdicts and histories are identical
     either way — observation is pure host-side bookkeeping.
+
+    With ``migrate=True`` every cell runs on a two-rank cluster with
+    one live subtree migration injected mid-run (the migration drill;
+    see :func:`run_cell`).
     """
-    tasks = [(c, d, seed, obs) for (c, d) in cells]
+    tasks = [(c, d, seed, obs, migrate) for (c, d) in cells]
     results = parallel_map(run_cell, tasks, jobs=jobs)
     report = {
         "seed": seed,
@@ -308,6 +339,8 @@ def run_matrix(
             for (c, d), r in zip(cells, results)
         },
     }
+    if migrate:
+        report["drill"] = "migrate"
     if obs:
         report["obs"] = {
             f"{c}/{d}": r["obs"]

@@ -33,6 +33,11 @@ Event kinds
 ``recovered``
     One update restored during recovery (from local disk, the object
     store, or an MDS journal replay).
+``migrate``
+    A live subtree migration changed phase; ``detail`` carries the
+    phase (``begin``/``commit``/``abort``), the source and destination
+    MDS names and the monitor's MDS-map epoch.  Exactly-one-authority
+    is judged from these records.
 ``snapshot``
     A full listing of the authoritative namespace under the scenario's
     subtree, taken by the driver at a quiescent point.
@@ -62,6 +67,7 @@ KINDS = (
     "crash",
     "recover",
     "recovered",
+    "migrate",
     "snapshot",
 )
 

@@ -59,6 +59,9 @@ class HistoryRecorder:
         #: against it to emit global-persist records.
         self._mds_journaled: Dict[str, List[JournalEvent]] = {}
         self._mds_persisted: Dict[str, int] = {}
+        #: Mutation-only persisted seq per MDS (protocol markers ride in
+        #: the journal but carry no namespace update to persist).
+        self._mds_persisted_muts: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -190,6 +193,58 @@ class HistoryRecorder:
         lands (seen via the object-layer hook)."""
         self._mds_journaled.setdefault(mds.name, []).extend(events)
 
+    def note_mds_export(
+        self, mds: "MetadataServer", removed: Sequence[JournalEvent]
+    ) -> None:
+        """A subtree migration lifted undispatched events out of
+        ``mds``'s open segment; drop their mirror entries.  Extraction
+        only ever touches the open segment, which is the tail of the
+        mirrored list — always beyond the persisted prefix, so earlier
+        ``persisted`` records never referenced these entries."""
+        if not removed:
+            return
+        journaled = self._mds_journaled.get(mds.name, [])
+        pending = list(removed)
+        idx = len(journaled) - 1
+        while pending and idx >= 0:
+            ev = journaled[idx]
+            cand = pending[-1]
+            if (
+                ev.op == cand.op
+                and ev.path == cand.path
+                and ev.target_path == cand.target_path
+                and ev.ino == cand.ino
+                and ev.client_id == cand.client_id
+            ):
+                journaled.pop(idx)
+                pending.pop()
+            idx -= 1
+        if pending:
+            raise RuntimeError(
+                f"{mds.name}: {len(pending)} exported journal events have "
+                "no mirror entry; persist accounting would desynchronize"
+            )
+
+    def record_migrate(
+        self,
+        subtree: str,
+        src: str,
+        dst: str,
+        phase: str,
+        epoch: int,
+        **extra,
+    ) -> None:
+        """One phase transition of a live subtree migration.
+
+        ``phase`` is ``begin`` (source froze the subtree), ``commit``
+        (authority switched to the destination) or ``abort`` (the
+        handoff unwound; the source keeps authority).
+        """
+        detail = {"phase": phase, "src": src, "dst": dst, "epoch": epoch}
+        for k, v in sorted(extra.items()):
+            detail[k] = v
+        self._emit(kind="migrate", actor=src, path=subtree, detail=detail)
+
     def record_mds_recover(
         self, mds: "MetadataServer", events: Sequence[JournalEvent]
     ) -> None:
@@ -218,6 +273,14 @@ class HistoryRecorder:
     def record_crash(self, actor: str, **detail) -> None:
         self._emit(kind="crash", actor=actor,
                    detail={k: v for k, v in sorted(detail.items())})
+        # An MDS crash drops its open (undispatched) segment: trim the
+        # same events off the journal mirror's tail so a later segment
+        # land never claims the lost events were persisted.  In-flight
+        # segments sit earlier in the mirror and are allowed to land.
+        lost = detail.get("journal_events_lost", 0)
+        journaled = self._mds_journaled.get(actor)
+        if journaled is not None and lost:
+            del journaled[max(0, len(journaled) - lost):]
 
     def record_client_recover(
         self, dclient: "DecoupledClient", mode: str
@@ -312,15 +375,24 @@ class HistoryRecorder:
         journaled = self._mds_journaled.get(mds.name, [])
         durable = len(journaled) - mds.journal.open_real_events
         done = self._mds_persisted.get(mds.name, 0)
+        if durable <= done:
+            return
+        # Persisted records are numbered over *mutations* only, matching
+        # the numbering journal-replay recovery uses — migration protocol
+        # markers are journaled but carry no namespace update.
+        mut_seq = self._mds_persisted_muts.get(mds.name, 0)
         for idx in range(done, durable):
             ev = journaled[idx]
+            if not ev.is_mutation:
+                continue
+            mut_seq += 1
             self._emit(
                 kind="persisted", actor=mds.name, scope="global",
                 op=EventType(ev.op).name.lower(), path=ev.path,
-                ino=ev.ino or None, seq=idx + 1, client=ev.client_id,
+                ino=ev.ino or None, seq=mut_seq, client=ev.client_id,
             )
-        if durable > done:
-            self._mds_persisted[mds.name] = durable
+        self._mds_persisted[mds.name] = durable
+        self._mds_persisted_muts[mds.name] = mut_seq
 
     # ------------------------------------------------------------------
     # snapshots

@@ -23,6 +23,7 @@ from repro.core.policy import SubtreePolicy
 from repro.core.policyfile import parse_policies
 from repro.core.semantics import Consistency, Durability
 from repro.mds.mdstore import FsError
+from repro.mds.migrate import migrate_subtree
 from repro.mds.server import Request
 from repro.sim.engine import Event
 
@@ -156,6 +157,38 @@ class Cudele:
                 if exc.code != "EEXIST":
                     raise
 
+    def _place(self, path: str, rank: int) -> Generator[Event, None, None]:
+        """Honor a policy's ``mds_rank`` placement hint (process body).
+
+        A subtree with no materialized rows is assigned statically via
+        the monitor's authority map; a populated subtree is moved by a
+        live migration so in-flight traffic keeps being served.
+        """
+        cluster = self.cluster
+        if not 0 <= rank < len(cluster.mds_list):
+            raise ValueError(f"policy names MDS rank {rank}, which does not exist")
+        if cluster.mon.authority_of(path) == rank:
+            return
+        src = cluster.mds_for(path)
+        populated = False
+        if src.config.materialize:
+            try:
+                src.mdstore.resolve(path)
+                populated = True
+            except FsError:
+                populated = False
+        if not populated:
+            yield from cluster.mon.set_authority(path, rank, src="cudele")
+            return
+        result = yield cluster.engine.process(
+            migrate_subtree(cluster, path, rank)
+        )
+        if not result.ok:
+            raise RuntimeError(
+                f"placement migration of {path} to rank {rank} failed: "
+                f"{result.reason}"
+            )
+
     # -- the API ---------------------------------------------------------------
     def decouple(
         self,
@@ -182,6 +215,8 @@ class Cudele:
         from repro.analysis.checker import check_plan
 
         check_plan(policy.plan, raise_on_error=True)
+        if policy.mds_rank is not None and len(self.cluster.mds_list) > 1:
+            yield from self._place(path, policy.mds_rank)
         self._ensure_path(path)
         if policy.is_decoupled and dclient is None:
             dclient = self.cluster.new_decoupled_client(
@@ -293,6 +328,10 @@ class Cudele:
             new_policy.owner_client = (
                 ns.dclient.client_id if ns.dclient else None
             )
+        if new_policy.mds_rank is not None and len(self.cluster.mds_list) > 1:
+            # Placement retarget: move the live subtree to the rank the
+            # new policy names before the policy itself lands there.
+            yield from self._place(ns.path, new_policy.mds_rank)
         yield self.cluster.engine.process(
             self.cluster.mon.set_subtree(ns.path, new_policy)
         )

@@ -127,6 +127,12 @@ class SubtreePolicy:
     persist_backend: str = "disk"
     #: The client that decoupled this subtree (set by the namespace API).
     owner_client: Optional[int] = None
+    #: Preferred MDS rank for this subtree (a Mantle-style placement
+    #: hint).  When a policy installation names a rank other than the
+    #: current authority, the namespace API triggers a live subtree
+    #: migration (:func:`repro.mds.migrate.migrate_subtree`) instead of
+    #: stopping traffic.  ``None`` leaves placement alone.
+    mds_rank: Optional[int] = None
 
     def __post_init__(self) -> None:
         # Validate compositions and the interfere policy eagerly.
@@ -140,6 +146,8 @@ class SubtreePolicy:
             )
         if self.allocated_inodes < 0:
             raise ValueError("allocated_inodes must be >= 0")
+        if self.mds_rank is not None and self.mds_rank < 0:
+            raise ValueError("mds_rank must be >= 0")
         PersistBackend.parse(self.persist_backend)
 
     # -- derived views -----------------------------------------------------

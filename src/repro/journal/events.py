@@ -35,6 +35,9 @@ class EventType(enum.IntEnum):
     SETATTR = 6      # chmod/chown/utimes
     SUBTREE_POLICY = 7  # record a Cudele policy assignment on a subtree
     NOOP = 8         # padding/heartbeat entry (journal segment headers)
+    EXPORT_PREP = 9     # migration: source froze the subtree for export
+    IMPORT_COMMIT = 10  # migration: destination imported the subtree
+    EXPORT_COMMIT = 11  # migration: source released authority
 
 
 @dataclass(frozen=True)
@@ -91,7 +94,13 @@ class JournalEvent:
     @property
     def is_mutation(self) -> bool:
         """Whether replaying this event changes the namespace."""
-        return self.op not in (EventType.NOOP, EventType.SUBTREE_POLICY)
+        return self.op not in (
+            EventType.NOOP,
+            EventType.SUBTREE_POLICY,
+            EventType.EXPORT_PREP,
+            EventType.IMPORT_COMMIT,
+            EventType.EXPORT_COMMIT,
+        )
 
     @property
     def parent_path(self) -> str:

@@ -166,6 +166,19 @@ class Journaler:
         seg, self._open_segment = self._open_segment, []
         return seg
 
+    def extract_open(self, predicate) -> List[JournalEvent]:
+        """Split the open segment: remove and return the events matching
+        ``predicate``, keeping the rest buffered (order and stamped
+        sequence numbers preserved).  Subtree migration uses this to lift
+        a subtree's undispatched events out of the source's journal."""
+        kept: List[JournalEvent] = []
+        removed: List[JournalEvent] = []
+        for ev in self._open_segment:
+            (removed if predicate(ev) else kept).append(ev)
+        self._open_segment = kept
+        self.events_journaled -= len(removed)
+        return removed
+
     def dispatch_segment(
         self, events: Optional[List[JournalEvent]] = None
     ) -> Generator[Event, None, int]:

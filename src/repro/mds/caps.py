@@ -150,6 +150,35 @@ class CapTracker:
             caps.holder = None
             caps.state = CapState.UNHELD
 
+    # -- migration ---------------------------------------------------------
+    def export_dirs(self, dir_inos) -> Dict[int, DirCaps]:
+        """Detach the capability records for ``dir_inos`` (for a subtree
+        handoff).  Directories with no record are skipped — UNHELD state
+        is implicit on both sides."""
+        out: Dict[int, DirCaps] = {}
+        for ino in sorted(set(dir_inos)):
+            caps = self._dirs.pop(ino, None)
+            if caps is not None:
+                out[ino] = caps
+        return out
+
+    def import_dirs(self, mapping: Dict[int, DirCaps]) -> int:
+        """Install capability records detached by :meth:`export_dirs`.
+
+        Raises if any directory already has a record here: a capability
+        must never be granted by two ranks at once, so a collision means
+        the handoff protocol broke.
+        """
+        for ino in sorted(mapping):
+            if ino in self._dirs:
+                raise ValueError(
+                    f"capability for dir inode {ino} already granted on "
+                    "this rank; refusing a double grant"
+                )
+        for ino in sorted(mapping):
+            self._dirs[ino] = mapping[ino]
+        return len(mapping)
+
     @property
     def tracked_dirs(self) -> int:
         return len(self._dirs)

@@ -44,6 +44,13 @@ class InoTable:
         self._ranges: Dict[int, List[InoRange]] = {}
         self._consumed: Set[int] = set()
 
+    def reserve_floor(self, first_free: int) -> None:
+        """Raise the allocation floor (never lowers it).  Multi-rank
+        clusters give each rank a disjoint base so tables can migrate
+        ranges between ranks without collisions."""
+        if first_free > self._next:
+            self._next = first_free
+
     # -- direct allocation (MDS-side create path) -----------------------
     def allocate(self) -> int:
         ino = self._next
@@ -112,6 +119,56 @@ class InoTable:
                 if ino not in self._consumed:
                     reclaimed += 1
         return reclaimed
+
+    # -- migration ---------------------------------------------------------
+    def extract_client(self, client_id: int) -> Dict:
+        """Detach ``client_id``'s provisioned ranges (plus the consumed
+        marks inside them) for a subtree handoff.  The bundle round-trips
+        through :meth:`install_client` on the destination table."""
+        ranges = self._ranges.pop(client_id, [])
+        consumed = sorted(
+            ino for ino in self._consumed
+            if any(ino in rng for rng in ranges)
+        )
+        for ino in consumed:
+            self._consumed.discard(ino)
+        return {
+            "client_id": client_id,
+            "ranges": list(ranges),
+            "consumed": consumed,
+        }
+
+    def install_client(self, bundle: Dict) -> None:
+        """Install a bundle from :meth:`extract_client`.
+
+        Refuses overlap with any range already provisioned here and any
+        already-consumed number inside the incoming ranges — two tables
+        must never both believe they own an inode range.
+        """
+        client_id = bundle["client_id"]
+        incoming: List[InoRange] = list(bundle["ranges"])
+        for rng in incoming:
+            for other_id in sorted(self._ranges):
+                for held in self._ranges[other_id]:
+                    if rng.start < held.end and held.start < rng.end:
+                        raise ValueError(
+                            f"incoming range [{rng.start},{rng.end}) overlaps "
+                            f"range [{held.start},{held.end}) held by client "
+                            f"{other_id}"
+                        )
+            for ino in range(rng.start, rng.end):
+                if ino in self._consumed:
+                    raise ValueError(
+                        f"inode {ino} inside an incoming range is already "
+                        "consumed on this rank"
+                    )
+        if incoming:
+            self._ranges.setdefault(client_id, []).extend(incoming)
+        for ino in bundle["consumed"]:
+            self._consumed.add(ino)
+        top = max((rng.end for rng in incoming), default=0)
+        if top > self._next:
+            self._next = top
 
     @property
     def next_free(self) -> int:

@@ -208,6 +208,32 @@ class MDSJournal:
         self.events_logged -= lost
         return lost
 
+    def extract_open(self, subtree: str) -> List[JournalEvent]:
+        """Remove and return the open segment's undispatched events that
+        touch ``subtree`` (a subtree migration lifts them out of the
+        source's journal; the destination re-journals them).  Dispatched
+        segments are not touched — their events are already durable on
+        the source's striped journal and stay there."""
+        if not self.enabled:
+            return []
+        prefix = subtree.rstrip("/") + "/"
+
+        def _touches(ev: JournalEvent) -> bool:
+            # Only mutations move: protocol markers (EXPORT_PREP itself)
+            # and policy records are this rank's own bookkeeping.
+            if not ev.is_mutation:
+                return False
+            if ev.path == subtree or ev.path.startswith(prefix):
+                return True
+            tgt = ev.target_path
+            return bool(
+                tgt and (tgt == subtree or tgt.startswith(prefix))
+            )
+
+        removed = self._journaler.extract_open(_touches)
+        self.events_logged -= len(removed)
+        return removed
+
     @property
     def open_real_events(self) -> int:
         """Real (materialized) events still buffered in the open segment

@@ -228,9 +228,67 @@ class MetadataStore:
             self.set_policy(event.path, event.target_path)
         elif event.op == EventType.NOOP:
             return
+        elif event.op in (EventType.EXPORT_PREP, EventType.IMPORT_COMMIT,
+                          EventType.EXPORT_COMMIT):
+            return  # migration protocol markers; no namespace effect
         else:  # pragma: no cover - EventType is closed
             raise FsError("EINVAL", f"unknown event {event.op}")
         self.events_applied += 1
+
+    # -- subtree migration --------------------------------------------------
+    def export_subtree(self, subtree: str) -> List[Tuple[str, Inode]]:
+        """Detach every row under ``subtree`` (inclusive), parent-first.
+
+        Returns ``[(path, inode), ...]`` ordered so that replaying the
+        list through :meth:`import_subtree` rebuilds the tree without
+        dangling parents.  The subtree root's dentry is unlinked from
+        its parent so a snapshot of this store no longer sees the moved
+        rows.
+        """
+        root_inode = self.resolve(subtree)
+        if not root_inode.is_dir:
+            raise FsError("ENOTDIR", subtree)
+        norm = "/" + "/".join(_split(subtree))
+        rows: List[Tuple[str, Inode]] = []
+
+        def walk(path: str, ino: int) -> None:
+            inode = self.inodes[ino]
+            rows.append((path, inode))
+            if inode.is_dir:
+                for name, child in self.dirfrags[ino].items():
+                    walk(path.rstrip("/") + "/" + name, child)
+
+        walk(norm, root_inode.ino)
+        parent, name = self.resolve_parent(norm)
+        self.dirfrags[parent.ino].unlink(name)
+        for _path, inode in rows:
+            self.inodes.pop(inode.ino, None)
+            if inode.is_dir:
+                self.dirfrags.pop(inode.ino, None)
+        return rows
+
+    def import_subtree(self, rows: List[Tuple[str, Inode]]) -> int:
+        """Install rows detached by :meth:`export_subtree` (parent-first).
+
+        The original :class:`Inode` objects are installed verbatim
+        (sizes, ownership and policy blobs survive the move) and every
+        inode number is recorded in this store's :class:`InoTable` so
+        local allocation can never collide with an imported number.
+        Raises EEXIST rather than silently double-installing.
+        """
+        for path, inode in rows:
+            parent, name = self.resolve_parent(path)
+            frag = self.dirfrags[parent.ino]
+            if name in frag:
+                raise FsError("EEXIST", path)
+            if inode.ino in self.inodes:
+                raise FsError("EEXIST", f"inode {inode.ino} already in use")
+            self.inodes[inode.ino] = inode
+            if inode.is_dir:
+                self.dirfrags.setdefault(inode.ino, DirFragment(inode.ino))
+            frag.link(name, inode.ino)
+            self.inotable.note_external(inode.ino)
+        return len(rows)
 
     # -- object-store serialization -------------------------------------------
     def save_dirfrag(

@@ -73,6 +73,10 @@ class MDSConfig:
     #: store (paper §VI: "for random workloads larger than the cache
     #: extra RPCs hurt performance").
     inode_cache_entries: int = cal.INODE_CACHE_DEFAULT
+    #: First inode number this rank's table may mint.  Multi-rank
+    #: clusters give each rank a disjoint base so subtree migration can
+    #: never collide allocations; None keeps the table default.
+    ino_base: Optional[int] = None
 
 
 @dataclass
@@ -107,6 +111,9 @@ class Response:
     rpcs: int = 1
     revoked: bool = False
     cached: bool = False  # client may serve lookups locally afterwards
+    #: Set on an ``EREDIRECT`` reply: the MDS rank now authoritative for
+    #: the request's path (the subtree migrated away from this rank).
+    redirect: Optional[int] = None
 
 
 class MetadataServer:
@@ -125,7 +132,19 @@ class MetadataServer:
         self.network = network
         self.config = config or MDSConfig()
         self.name = name
-        self.mdstore = MetadataStore()
+        #: MDS rank number (set by the Cluster for multi-rank
+        #: deployments; rank 0 matches the paper's single-MDS testbed).
+        self.rank = 0
+        #: Resolves a path to the authoritative MDS rank (the monitor's
+        #: MDS map; wired by the Cluster only for multi-rank clusters).
+        #: None disables authority checks entirely — the single-MDS
+        #: request path is untouched.
+        self.authority_resolver: Optional[Callable[[str], int]] = None
+        #: Subtrees frozen for export: path -> release event.  Requests
+        #: under a frozen subtree wait at the dispatch prologue until
+        #: the migration window closes.
+        self._frozen: Dict[str, Event] = {}
+        self.mdstore = self._fresh_store()
         self.caps = CapTracker()
         self.journal = MDSJournal(
             engine,
@@ -141,6 +160,10 @@ class MetadataServer:
         #: Resolves a path to the governing subtree policy (wired by the
         #: Cudele namespace API); returns None for plain POSIX subtrees.
         self.policy_resolver: Optional[Callable[[str], Any]] = None
+        #: Resolves a path to its ``(subtree_root, policy)`` map entry;
+        #: consulted only inside the ``obs is not None`` branch to label
+        #: per-subtree op counters (hotspot detection, repro.mds.migrate).
+        self.subtree_resolver: Optional[Callable[[str], Any]] = None
         #: Synthetic per-directory entry counts for non-materialized runs.
         self._synthetic_sizes: Dict[int, int] = {}
         #: Files currently open for writing: path -> (client_id, size_getter).
@@ -188,6 +211,12 @@ class MetadataServer:
     def queue_depth(self) -> int:
         return len(self._queue)
 
+    def _fresh_store(self) -> MetadataStore:
+        store = MetadataStore()
+        if self.config.ino_base is not None:
+            store.inotable.reserve_floor(self.config.ino_base)
+        return store
+
     # ------------------------------------------------------------------
     # request loop
     # ------------------------------------------------------------------
@@ -230,6 +259,14 @@ class MetadataServer:
                         obs.hub.counter(
                             "requests", daemon=self.name, mechanism="rpc",
                             op=request.op,
+                        ).incr(request.count)
+                        entry = (
+                            self.subtree_resolver(request.path)
+                            if self.subtree_resolver is not None else None
+                        )
+                        obs.hub.counter(
+                            "subtree_ops", daemon=self.name, mechanism="rpc",
+                            subtree=entry[0] if entry is not None else "/",
                         ).incr(request.count)
                 self._current = None
                 if not self.up:
@@ -298,7 +335,11 @@ class MetadataServer:
         if self._loop.is_alive:
             self._loop.interrupt("mds-crash")
         self.running = False
-        self.mdstore = MetadataStore()
+        # Release any export freeze: the frozen-window state lived in
+        # MDS memory, and a crashed source's migration aborts anyway.
+        for path in sorted(self._frozen):
+            self.unfreeze_subtree(path)
+        self.mdstore = self._fresh_store()
         self.caps = CapTracker()
         self._open_writers.clear()
         self._synthetic_sizes.clear()
@@ -354,8 +395,10 @@ class MetadataServer:
                 self.mdstore = yield self.engine.process(
                     MetadataStore.load_all(self.objstore, dst=self.name)
                 )
+                if self.config.ino_base is not None:
+                    self.mdstore.inotable.reserve_floor(self.config.ino_base)
             except Exception:
-                self.mdstore = MetadataStore()
+                self.mdstore = self._fresh_store()
         events = yield from self._recover_scan()
         yield from self._cpu(len(events) * cal.VOLATILE_APPLY_S)
         if self.config.materialize:
@@ -465,6 +508,27 @@ class MetadataServer:
         if handler is None:
             yield from self._cpu(cal.MDS_SERVICE_S)
             return Response(ok=False, error=f"EINVAL: unknown op {request.op}"), 0.0
+        if self.authority_resolver is not None and request.op != "export_prep":
+            # Migration prologue.  First wait out any export freeze
+            # covering the path (the frozen window is the handoff's
+            # state-transfer phase), then check the monitor's MDS map:
+            # if authority moved, answer with a redirect so the client
+            # retries against the new rank.
+            while True:
+                gate = self._frozen_gate(request.path)
+                if gate is None:
+                    break
+                yield gate
+            target = self.authority_resolver(request.path)
+            if target != self.rank:
+                self.stats.counter("redirects").incr(request.count)
+                yield from self._cpu(cal.REDIRECT_CPU_S)
+                return (
+                    Response(
+                        ok=False, error="EREDIRECT", rpcs=1, redirect=target
+                    ),
+                    0.0,
+                )
         blocked = self._interfere_blocked(request)
         if blocked:
             self.stats.counter("rejects").incr(request.count)
@@ -782,6 +846,45 @@ class MetadataServer:
             entries = n
         yield from self._cpu(self._service_time(1) + n * LS_ENTRY_S)
         return Response(ok=True, value=entries), 0.0
+
+    # -- subtree migration ---------------------------------------------------
+    def _frozen_gate(self, path: str) -> Optional[Event]:
+        """The release event of the frozen subtree covering ``path``."""
+        if not self._frozen:
+            return None
+        for sub in sorted(self._frozen):
+            if path == sub or path.startswith(sub.rstrip("/") + "/"):
+                return self._frozen[sub]
+        return None
+
+    def unfreeze_subtree(self, path: str) -> None:
+        """Release the export freeze on ``path`` (commit or abort)."""
+        release = self._frozen.pop(path, None)
+        if release is not None and not release.triggered:
+            release.succeed(None)
+
+    def _op_export_prep(self, request: Request):
+        """Migration phase 1 on the source rank: freeze the subtree and
+        journal the EXPORT_PREP intent marker.
+
+        Routed through the ordinary request queue on purpose — the serve
+        loop is single-threaded, so by the time this handler runs every
+        earlier operation has fully committed, and the freeze needs no
+        separate quiescence step.  Later requests under the subtree wait
+        at the dispatch prologue until the coordinator unfreezes.
+        """
+        yield from self._cpu(self._service_time(1))
+        path = request.path
+        if path in self._frozen:
+            return Response(ok=False, error="EBUSY: subtree already frozen"), 0.0
+        self._frozen[path] = self.engine.event()
+        events = [
+            JournalEvent(EventType.EXPORT_PREP, path, mtime=self.engine.now)
+        ]
+        if self.recorder is not None and self.journal.enabled:
+            self.recorder.note_mds_journaled(self, events)
+        yield from self.journal.log_events(events=events)
+        return Response(ok=True), self.journal.commit_latency_s()
 
     # -- Cudele support ------------------------------------------------------
     def _op_provision(self, request: Request):

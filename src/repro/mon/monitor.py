@@ -49,6 +49,14 @@ class Monitor:
         self.history: List[PolicyMapEntry] = []
         #: Daemon endpoint names subscribed to map updates.
         self.subscribers: List[str] = []
+        #: MDS authority map: subtree path -> authoritative MDS rank.
+        #: Nearest-ancestor resolution, rank 0 by default — the monitor
+        #: (not any MDS) owns this map, so authority survives MDS
+        #: crashes and there is always exactly one authority per path.
+        self._authority: Dict[str, int] = {}
+        #: Bumped on every authority change; stale clients and ranks
+        #: compare epochs to detect an outdated map.
+        self.mds_epoch = 0
 
     # -- membership -----------------------------------------------------
     def subscribe(self, daemon_name: str) -> None:
@@ -110,6 +118,49 @@ class Monitor:
         if sends:
             yield self.engine.all_of(sends)
 
+    # -- MDS authority map -----------------------------------------------
+    def assign_authority(self, path: str, rank: int) -> int:
+        """Pin ``path``'s subtree to MDS ``rank`` (bootstrap-time static
+        partitioning; no wire cost).  Returns the new MDS-map epoch."""
+        norm = _normalize(path)
+        self.mds_epoch += 1
+        self._authority[norm] = rank
+        return self.mds_epoch
+
+    def authority_of(self, path: str) -> int:
+        """The MDS rank authoritative for ``path`` (nearest assigned
+        ancestor; rank 0 when nothing is assigned)."""
+        if not self._authority:
+            return 0
+        norm = _normalize(path)
+        probe = norm
+        while True:
+            if probe in self._authority:
+                return self._authority[probe]
+            if probe == "/":
+                return 0
+            probe = probe.rsplit("/", 1)[0] or "/"
+
+    def set_authority(
+        self, path: str, rank: int, src: str = "mds"
+    ) -> Generator[Event, None, int]:
+        """Retarget ``path``'s authority to ``rank`` (process body).
+
+        This is the migration protocol's commit point: the submission
+        and the fan-out to subscribers pay wire time like any policy-map
+        update.  Returns the new MDS-map epoch.
+        """
+        norm = _normalize(path)
+        yield from self.network.send(src, self.name, POLICY_UPDATE_BYTES)
+        self.mds_epoch += 1
+        self._authority[norm] = rank
+        yield from self._distribute()
+        return self.mds_epoch
+
+    @property
+    def authority_paths(self) -> List[str]:
+        return sorted(self._authority)
+
     # -- resolution ------------------------------------------------------
     def resolve(self, path: str) -> Optional[Any]:
         """Policy governing ``path``: nearest ancestor's assignment."""
@@ -126,6 +177,25 @@ class Monitor:
             if probe == "/":
                 return None
             probe = probe.rsplit("/", 1)[0] or "/"
+
+    def authority_entry(self, path: str) -> Optional[Tuple[str, int]]:
+        """Like :meth:`authority_of` but also returns the assigned
+        subtree root; None when no assignment governs ``path``."""
+        probe = _normalize(path)
+        while True:
+            if probe in self._authority:
+                return probe, self._authority[probe]
+            if probe == "/":
+                return None
+            probe = probe.rsplit("/", 1)[0] or "/"
+
+    def subtree_entry(self, path: str) -> Optional[Tuple[str, Any]]:
+        """The governing subtree entry for ``path``: the nearest
+        decoupled policy if one applies, else the nearest MDS authority
+        assignment.  Observability attributes per-subtree op counters
+        with this, so authority-pinned (but not decoupled) subtrees are
+        visible to the hotspot detector and the migration drill."""
+        return self.resolve_entry(path) or self.authority_entry(path)
 
     def exact(self, path: str) -> Optional[Any]:
         return self._policies.get(_normalize(path))

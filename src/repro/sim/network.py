@@ -93,6 +93,15 @@ class ShardRouter:
     def assign(self, endpoint: str, rank: int) -> None:
         self._assignment[endpoint] = rank
 
+    def reassign(self, endpoint: str, rank: int) -> None:
+        """Move a live endpoint to another shard (subtree migration
+        co-locates a redirected client with its new authority).  Only
+        future link *creation* consults the map, so pair this with
+        :meth:`Network.rehome` to drop the endpoint's cached links;
+        in lockstep mode the move is order-neutral — recreated links
+        stamp events from the shared global sequence counter."""
+        self._assignment[endpoint] = rank
+
     def shard_of(self, endpoint: str) -> int:
         return self._assignment.get(endpoint, 0)
 
@@ -126,6 +135,10 @@ class Network:
         #: Severed endpoint pairs (undirected); see :meth:`partition`.
         self._partitions: Set[FrozenSet[str]] = set()
         self.messages_dropped = 0
+        # Traffic carried by links that were since retired by
+        # :meth:`rehome`; folded into the network-wide totals.
+        self._retired_bytes = 0
+        self._retired_messages = 0
 
     def link(self, src: str, dst: str) -> Link:
         """Get (creating if needed) the directed link ``src -> dst``."""
@@ -144,6 +157,21 @@ class Network:
             )
             self._links[key] = lk
         return lk
+
+    def rehome(self, endpoint: str) -> None:
+        """Retire every cached link touching ``endpoint``.
+
+        After a :meth:`ShardRouter.reassign` the endpoint's links must
+        be re-created lazily so they land on the new shard's engine;
+        transfers already in flight keep their (old) link object and
+        complete normally.  Retired links' traffic is folded into the
+        network totals so accounting survives the move.
+        """
+        for key in sorted(self._links):
+            if endpoint in key:
+                lk = self._links.pop(key)
+                self._retired_bytes += lk.bytes_sent
+                self._retired_messages += lk.messages_sent
 
     # -- fault injection ---------------------------------------------------
     def partition(self, a: str, b: str) -> None:
@@ -176,8 +204,12 @@ class Network:
 
     @property
     def total_bytes(self) -> int:
-        return sum(self._links[k].bytes_sent for k in sorted(self._links))
+        return self._retired_bytes + sum(
+            self._links[k].bytes_sent for k in sorted(self._links)
+        )
 
     @property
     def total_messages(self) -> int:
-        return sum(self._links[k].messages_sent for k in sorted(self._links))
+        return self._retired_messages + sum(
+            self._links[k].messages_sent for k in sorted(self._links)
+        )

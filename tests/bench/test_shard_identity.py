@@ -45,3 +45,54 @@ def test_shards_flag_validation(tmp_path, monkeypatch, capsys):
     monkeypatch.delenv("REPRO_SHARDS", raising=False)
     assert main(["--shards"]) == 2
     assert main(["--shards", "not-a-number"]) == 2
+
+
+def _migration_story():
+    """A live handoff with client re-homing; returns the canonical
+    recorded history and the cluster (for placement assertions)."""
+    from repro.cluster import Cluster
+    from repro.conformance import HistoryRecorder
+    from repro.mds.migrate import migrate_subtree
+
+    cluster = Cluster(num_mds=2, seed=0)
+    recorder = HistoryRecorder.attach(cluster)
+    try:
+        cluster.assign_subtree_mds("/job", 0)
+        client = cluster.new_client()
+
+        def burst(names):
+            resp = yield cluster.engine.process(
+                client.create_many("/job", names)
+            )
+            assert resp.ok
+
+        def boot():
+            resp = yield cluster.engine.process(client.mkdir("/job"))
+            assert resp.ok
+
+        cluster.run(boot())
+        cluster.run(burst([f"a{i}" for i in range(6)]))
+        result = cluster.run(
+            migrate_subtree(cluster, "/job", 1, rehome=[client.name])
+        )
+        assert result.status == "done", result.reason
+        cluster.run(burst([f"b{i}" for i in range(6)]))
+        recorder.record_snapshot(cluster.mds_for("/job"), "/job")
+        return recorder.history.canonical(), cluster
+    finally:
+        recorder.detach()
+
+
+def test_migration_with_rehome_byte_identical_under_shards(monkeypatch):
+    """Re-pinning the redirected client to the destination's shard
+    mid-migration must not perturb lockstep: the sharded history is
+    byte-identical to the serial run (where re-homing is a no-op)."""
+    monkeypatch.setenv("REPRO_SHARDS", "")
+    serial_history, _ = _migration_story()
+    monkeypatch.setenv("REPRO_SHARDS", "2")
+    sharded_history, cluster = _migration_story()
+    assert sharded_history == serial_history
+    # The re-home actually landed: the client now lives on the
+    # destination rank's shard.
+    assert cluster.shard_router is not None
+    assert cluster.shard_router.shard_of("client1") == 1

@@ -13,7 +13,13 @@ import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
-from test_golden import CORRUPT_GOLDEN, GOLDEN, GOLDEN_DIR, SUBTREE  # noqa: E402
+from test_golden import (  # noqa: E402
+    CORRUPT_GOLDEN,
+    GOLDEN,
+    GOLDEN_DIR,
+    MIGRATE_GOLDEN,
+    SUBTREE,
+)
 
 from repro.conformance import History, check_history, verdict_json  # noqa: E402
 from repro.conformance.driver import run_cell, run_corruption_cell  # noqa: E402
@@ -47,6 +53,10 @@ def main() -> int:
     for name, (durability, mode, seed, owner) in CORRUPT_GOLDEN.items():
         out = run_corruption_cell((durability, mode, seed))
         if not _write(name, out["history"], "invisible", durability, owner):
+            return 1
+    for name, (consistency, durability, seed, owner) in MIGRATE_GOLDEN.items():
+        out = run_cell((consistency, durability, seed, False, True))
+        if not _write(name, out["history"], consistency, durability, owner):
             return 1
     return 0
 

@@ -15,6 +15,10 @@ Three representative scenarios are frozen under ``golden/``:
     invisible/local with a torn persist fault — the on-disk image is
     damaged mid-write and recovery must restore exactly the
     checksummed-valid prefix the verifying scan salvages.
+``migration_under_load``
+    strong/global on a two-rank cluster — the live subtree migrates
+    from rank 0 to rank 1 mid-run; burst two, the Stream flush and the
+    journal-replay drill all land on the new authority.
 
 Each test loads the checked-in history, re-runs the oracle and compares
 the rendered verdict byte-for-byte against the checked-in artifact; a
@@ -50,6 +54,14 @@ CORRUPT_GOLDEN = {
     "corrupted_recovery": ("local", "torn", 0, "dclient1001"),
 }
 
+#: fixture name -> (consistency, durability, seed, owner) — migration
+#: drill cells: a two-rank cluster hands the live subtree from rank 0
+#: to rank 1 mid-run, with bursts, mechanisms and the journal-replay
+#: drill landing on whichever rank holds the authority.
+MIGRATE_GOLDEN = {
+    "migration_under_load": ("strong", "global", 0, "client1"),
+}
+
 
 @pytest.mark.parametrize("name", sorted(GOLDEN))
 def test_golden_verdict_byte_for_byte(name):
@@ -71,7 +83,9 @@ def test_golden_history_regenerates_byte_for_byte(name):
     assert out["history"] == want
 
 
-@pytest.mark.parametrize("name", sorted(GOLDEN) + sorted(CORRUPT_GOLDEN))
+@pytest.mark.parametrize(
+    "name", sorted(GOLDEN) + sorted(CORRUPT_GOLDEN) + sorted(MIGRATE_GOLDEN)
+)
 def test_golden_round_trips_through_serialization(name):
     text = (GOLDEN_DIR / f"{name}.history.jsonl").read_text(encoding="utf-8")
     assert History.from_canonical(text).canonical() == text
@@ -95,6 +109,45 @@ def test_corrupt_golden_history_regenerates_byte_for_byte(name):
     out = run_corruption_cell((durability, mode, seed))
     want = (GOLDEN_DIR / f"{name}.history.jsonl").read_text(encoding="utf-8")
     assert out["history"] == want
+
+
+@pytest.mark.parametrize("name", sorted(MIGRATE_GOLDEN))
+def test_migrate_golden_verdict_byte_for_byte(name):
+    consistency, durability, _, owner = MIGRATE_GOLDEN[name]
+    history = History.load(GOLDEN_DIR / f"{name}.history.jsonl")
+    verdict = check_history(
+        history, consistency, durability, subtree=SUBTREE, owner=owner
+    )
+    assert verdict["ok"], verdict["violations"]
+    want = (GOLDEN_DIR / f"{name}.verdict.json").read_text(encoding="utf-8")
+    assert verdict_json(verdict) == want
+
+
+@pytest.mark.parametrize("name", sorted(MIGRATE_GOLDEN))
+def test_migrate_golden_history_regenerates_byte_for_byte(name):
+    consistency, durability, seed, _ = MIGRATE_GOLDEN[name]
+    out = run_cell((consistency, durability, seed, False, True))
+    want = (GOLDEN_DIR / f"{name}.history.jsonl").read_text(encoding="utf-8")
+    assert out["history"] == want
+
+
+@pytest.mark.parametrize("name", sorted(MIGRATE_GOLDEN))
+def test_migrate_golden_records_the_handoff(name):
+    # The fixture must actually exercise the live handoff: a begin and
+    # a commit record for the subtree, moving authority between two
+    # distinct ranks, with traffic both before and after the flip.
+    history = History.load(GOLDEN_DIR / f"{name}.history.jsonl")
+    migrations = history.of_kind("migrate")
+    phases = [e.detail.get("phase") for e in migrations]
+    assert "begin" in phases and "commit" in phases
+    commit = next(e for e in migrations if e.detail["phase"] == "commit")
+    assert commit.detail["src"] != commit.detail["dst"]
+    visibles = [
+        e for e in history.of_kind("visible")
+        if e.path and e.path.startswith(SUBTREE)
+    ]
+    assert any(e.t < commit.t for e in visibles)
+    assert any(e.t > commit.t for e in visibles)
 
 
 @pytest.mark.parametrize("name", sorted(CORRUPT_GOLDEN))

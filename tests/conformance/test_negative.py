@@ -171,3 +171,49 @@ def test_corrupt_codes_are_stable_and_distinct():
     assert {"corrupt-recovery-lost", "corrupt-recovery-overrun"} <= set(
         VIOLATION_CODES
     )
+
+
+def test_dropped_import_ack_is_migrate_incomplete_handoff():
+    # Drop the migration's commit record (the IMPORT_ACK never landed,
+    # so the flip was never recorded): the begin dangles forever.
+    dicts = _load_dicts("migration_under_load")
+    assert any(
+        d["kind"] == "migrate" and d["detail"]["phase"] == "commit"
+        for d in dicts
+    )
+    dicts = [
+        d for d in dicts
+        if not (d["kind"] == "migrate" and d["detail"]["phase"] == "commit")
+    ]
+    verdict, codes = _check(dicts, "strong", "global", "client1")
+    assert not verdict["ok"]
+    assert "migrate-incomplete-handoff" in codes
+
+
+def test_stale_rank_visibility_is_migrate_dual_authority():
+    # Forge a visible create by the old authority after the handoff
+    # committed: two ranks acting as the subtree's authority at once.
+    dicts = _load_dicts("migration_under_load")
+    commit = next(
+        d for d in dicts
+        if d["kind"] == "migrate" and d["detail"]["phase"] == "commit"
+    )
+    idx = dicts.index(commit)
+    forged = {
+        "t": commit["t"],
+        "kind": "visible",
+        "actor": commit["detail"]["src"],
+        "op": "create",
+        "path": f"{SUBTREE}/stale-write",
+        "client": 1,
+    }
+    dicts.insert(idx + 1, forged)
+    verdict, codes = _check(dicts, "strong", "global", "client1")
+    assert not verdict["ok"]
+    assert "migrate-dual-authority" in codes
+
+
+def test_migrate_codes_are_stable_and_distinct():
+    assert {"migrate-incomplete-handoff", "migrate-dual-authority"} <= set(
+        VIOLATION_CODES
+    )

@@ -30,3 +30,17 @@ def test_sharded_cell_verdict_conforms(monkeypatch):
     report = run_matrix(seed=3, cells=[("strong", "global")])
     assert report["ok"]
     assert report["cells"][0]["events"] > 20
+
+
+def test_migration_drill_byte_identical_under_shards(monkeypatch):
+    """The migration drill on a two-rank cluster: the live handoff
+    (frozen window, wire transfer, redirects) must be lockstep-exact —
+    sharded histories match the serial run byte for byte."""
+    cells = [("strong", "global"), ("weak", "local"), ("invisible", "none")]
+    monkeypatch.setenv("REPRO_SHARDS", "")
+    serial = run_matrix(seed=0, cells=cells, migrate=True)
+    monkeypatch.setenv("REPRO_SHARDS", "2")
+    sharded = run_matrix(seed=0, cells=cells, migrate=True)
+    assert sharded["ok"] and sharded["drill"] == "migrate"
+    assert report_json(serial, with_histories=True) == \
+        report_json(sharded, with_histories=True)

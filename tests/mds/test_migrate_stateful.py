@@ -1,0 +1,228 @@
+"""Model-based testing of live subtree migration across all nine cells.
+
+Hypothesis drives random namespace op streams interleaved with random
+subtree migrations (the authority ping-pongs between two MDS ranks)
+while a :class:`ReferenceModel` tracks the expected namespace in
+lock-step, exactly as :mod:`tests.conformance.test_stateful` does on a
+single rank.  A migration must be *semantically invisible*: the
+cluster's accept/reject decisions keep matching the model's regardless
+of which rank holds the authority, and teardown holds the final
+snapshot byte-equal to the model plus a clean conformance verdict.
+
+Two safety invariants hold after every step:
+
+* a directory capability is never granted by two ranks at once — the
+  frozen-window transfer detaches records from the source before the
+  destination installs them;
+* the two ranks' InoTable ranges stay pairwise disjoint — a migrated
+  allocation range must land whole on the destination, never split or
+  duplicated.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+    run_state_machine_as_test,
+)
+
+from repro.cluster import Cluster
+from repro.conformance import HistoryRecorder, ReferenceModel, check_history
+from repro.conformance.driver import CELLS, SUBTREE
+from repro.core.mechanisms import MechanismContext, run_mechanism
+from repro.core.namespace_api import Cudele
+from repro.core.policy import SubtreePolicy
+from repro.faults import FaultInjector, FaultPlan
+from repro.mds.caps import CapState
+from repro.mds.migrate import migrate_subtree
+from repro.mds.server import MDSConfig
+
+pytestmark = pytest.mark.conformance
+
+STATEFUL_SETTINGS = settings(
+    max_examples=6, stateful_step_count=15, deadline=None
+)
+
+
+class MigrationMachine(RuleBasedStateMachine):
+    """One semantics cell driven with migrations mixed into the stream."""
+
+    cell = ("strong", "none")  # overridden per parametrized subclass
+
+    def __init__(self):
+        super().__init__()
+        self.consistency, self.durability = self.cell
+        self.cluster = Cluster(
+            seed=0, num_mds=2, mds_config=MDSConfig(segment_events=8)
+        )
+        self.cluster.assign_subtree_mds(SUBTREE, 0)
+        self.recorder = HistoryRecorder.attach(self.cluster)
+        self.boot = self.cluster.new_client()
+        self.cluster.run(self.boot.mkdir(SUBTREE))
+        policy = SubtreePolicy.from_semantics(
+            self.consistency, self.durability, allocated_inodes=2048
+        )
+        self.ns = self.cluster.run(Cudele(self.cluster).decouple(
+            SUBTREE, policy
+        ))
+        self.worker = (
+            self.ns.dclient if self.ns.dclient is not None else self.boot
+        )
+        self.owner = self.worker.name
+        self.rpc = self.ns.dclient is None
+        self.model = ReferenceModel()
+        self.model.ensure_dirs(SUBTREE)
+        self.dirs = [SUBTREE]
+        self.files = []
+        self.counter = 0
+        self.migrations = 0
+
+    # -- helpers ----------------------------------------------------------
+    def _apply_rpc(self, op, path, resp, target=None):
+        ok, code = self.model.apply(op, path, target=target)
+        assert resp.ok == ok, (
+            f"{op} {path}: cluster said ok={resp.ok} "
+            f"({resp.error}), model said ok={ok} ({code})"
+        )
+
+    # -- namespace operations ---------------------------------------------
+    @rule(i=st.integers(0, 63))
+    def mkdir_subdir(self, i):
+        parent = self.dirs[i % len(self.dirs)]
+        path = f"{parent}/d{self.counter}"
+        self.counter += 1
+        resp = self.cluster.run(self.worker.mkdir(path))
+        if self.rpc:
+            self._apply_rpc("mkdir", path, resp)
+        self.dirs.append(path)
+
+    @rule(i=st.integers(0, 63), n=st.integers(1, 3))
+    def create_files(self, i, n):
+        parent = self.dirs[i % len(self.dirs)]
+        names = [f"f{self.counter + j}" for j in range(n)]
+        self.counter += n
+        resp = self.cluster.run(self.worker.create_many(parent, names))
+        if self.rpc:
+            assert resp.ok
+            for name in names:
+                ok, code = self.model.apply("create", f"{parent}/{name}")
+                assert ok, code
+        self.files += [f"{parent}/{name}" for name in names]
+
+    @precondition(lambda self: self.files)
+    @rule(i=st.integers(0, 63))
+    def unlink_file(self, i):
+        path = self.files.pop(i % len(self.files))
+        resp = self.cluster.run(self.worker.unlink(path))
+        if self.rpc:
+            self._apply_rpc("unlink", path, resp)
+
+    # -- the handoff --------------------------------------------------------
+    @rule()
+    def migrate(self):
+        """Hand the live subtree to the other rank; the stream goes on."""
+        src = self.cluster.mon.authority_of(SUBTREE)
+        result = self.cluster.run(
+            migrate_subtree(self.cluster, SUBTREE, 1 - src)
+        )
+        assert result.ok, (result.status, result.reason)
+        assert self.cluster.mon.authority_of(SUBTREE) == 1 - src
+        self.migrations += 1
+
+    # -- durability mechanisms and faults ----------------------------------
+    @precondition(lambda self: not self.rpc and self.durability != "none")
+    @rule()
+    def persist(self):
+        mech = (
+            "local_persist" if self.durability == "local"
+            else "global_persist"
+        )
+        ctx = MechanismContext(self.cluster, SUBTREE, self.ns.dclient)
+        self.cluster.run(run_mechanism(mech, ctx))
+
+    @rule()
+    def crash_recover_owner(self):
+        t = self.cluster.now
+        plan = FaultPlan()
+        if not self.rpc and self.durability == "global":
+            plan.crash(t + 0.005, self.owner, lose_disk=True)
+            plan.recover(t + 0.050, self.owner, mode="global")
+        else:
+            plan.crash(t + 0.005, self.owner)
+            plan.recover(t + 0.050, self.owner, mode="local")
+        FaultInjector(self.cluster, plan).start()
+        self.cluster.run()
+
+    # -- invariants --------------------------------------------------------
+    @invariant()
+    def caps_never_doubly_granted(self):
+        a, b = (mds.caps for mds in self.cluster.mds_list)
+        for ino in sorted(set(a._dirs) & set(b._dirs)):
+            assert not (
+                a.state_of(ino) is not CapState.UNHELD
+                and b.state_of(ino) is not CapState.UNHELD
+            ), f"dir inode {ino} capability granted on both ranks"
+
+    @invariant()
+    def ino_ranges_pairwise_disjoint(self):
+        spans = []
+        for rank, mds in enumerate(self.cluster.mds_list):
+            table = mds.mdstore.inotable
+            for client_id in sorted(table._ranges):
+                for rng in table._ranges[client_id]:
+                    spans.append((rng.start, rng.end, rank, client_id))
+        spans.sort()
+        for (s1, e1, r1, c1), (s2, e2, r2, c2) in zip(spans, spans[1:]):
+            assert e1 <= s2, (
+                f"inode range [{s1},{e1}) (rank {r1}, client {c1}) overlaps "
+                f"[{s2},{e2}) (rank {r2}, client {c2})"
+            )
+
+    @invariant()
+    def engine_is_quiescent(self):
+        before = self.cluster.now
+        self.cluster.run()
+        assert self.cluster.now == before
+
+    # -- the oracle ---------------------------------------------------------
+    def teardown(self):
+        try:
+            surviving = (
+                list(self.worker.journal.events) if not self.rpc else []
+            )
+            self.cluster.run(self.ns.finalize())
+            self.recorder.record_snapshot(
+                self.cluster.mds_for(SUBTREE), SUBTREE
+            )
+            verdict = check_history(
+                self.recorder.history, self.consistency, self.durability,
+                subtree=SUBTREE, owner=self.owner,
+            )
+            assert verdict["ok"], verdict["violations"]
+            if self.consistency == "weak" and surviving:
+                self.model.merge(surviving)
+            snapshot = self.recorder.history.of_kind("snapshot")[-1]
+            want = sorted(snapshot.detail.get("entries", []))
+            have = sorted(
+                f"{p}:{k}" for p, k in self.model.paths_under(SUBTREE)
+            )
+            assert want == have, (
+                f"namespace/model divergence in {self.cell} after "
+                f"{self.migrations} migrations: store={want} model={have}"
+            )
+        finally:
+            self.recorder.detach()
+
+
+@pytest.mark.parametrize("consistency,durability", CELLS)
+def test_stateful_migration_cell(consistency, durability):
+    machine = type(
+        f"Migration_{consistency}_{durability}",
+        (MigrationMachine,),
+        {"cell": (consistency, durability)},
+    )
+    run_state_machine_as_test(machine, settings=STATEFUL_SETTINGS)

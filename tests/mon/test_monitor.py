@@ -108,3 +108,18 @@ def test_subtree_paths(engine, mon):
     drive(engine, mon.set_subtree("/b", "p"))
     drive(engine, mon.set_subtree("/a", "p"))
     assert mon.subtree_paths == ["/a", "/b"]
+
+
+def test_authority_entry_returns_assigned_root(engine, mon):
+    mon.assign_authority("/job", 1)
+    assert mon.authority_entry("/job/deep/file") == ("/job", 1)
+    assert mon.authority_entry("/elsewhere") is None
+    assert mon.authority_entry("/") is None  # non-root pin doesn't leak up
+
+
+def test_subtree_entry_prefers_policy_over_authority(engine, mon):
+    mon.assign_authority("/job", 1)
+    assert mon.subtree_entry("/job/f") == ("/job", 1)
+    drive(engine, mon.set_subtree("/job", "decoupled"))
+    assert mon.subtree_entry("/job/f") == ("/job", "decoupled")
+    assert mon.subtree_entry("/neither") is None

@@ -15,6 +15,7 @@ import pytest
 
 from repro.cluster import _shards_from_env
 from repro.sim.engine import Engine, SimulationError
+from repro.sim.network import Network, ShardRouter
 from repro.sim.resources import Store
 from repro.sim.shard import (
     LookaheadViolation,
@@ -289,6 +290,83 @@ def test_mode_and_shard_count_validation():
         ShardedEngine(0)
     with pytest.raises(ValueError):
         ShardedEngine(2, mode="optimistic")
+
+
+# ---------------------------------------------------------------------------
+# live endpoint re-homing (subtree migration moves a client's shard)
+# ---------------------------------------------------------------------------
+
+
+def _rehome_workload(network, engine_for, log, move):
+    """Two endpoints exchanging fixed-size messages; ``move()`` runs
+    mid-stream (between bursts) and may re-pin endpoint ``b``."""
+
+    def chatter(tag, n0):
+        eng = engine_for(0)
+        for n in range(4):
+            yield eng.process(network.send("a", "b", 1000))
+            log.append((tag, n0 + n, eng.now))
+
+    def driver():
+        eng = engine_for(0)
+        yield eng.process(chatter("pre", 0))
+        move()
+        yield eng.process(chatter("post", 4))
+
+    engine_for(0).process(driver(), name="driver")
+
+
+def test_rehome_mid_run_is_lockstep_identical_to_serial():
+    serial_engine = Engine()
+    serial_log = []
+    serial_net = Network(serial_engine, latency_s=1e-3)
+    _rehome_workload(
+        serial_net, lambda i: serial_engine, serial_log, move=lambda: None
+    )
+    serial_engine.run()
+
+    sharded = ShardedEngine(2)
+    router = ShardRouter(sharded)
+    router.assign("a", 0)
+    router.assign("b", 0)
+    net = Network(sharded.shard(0), latency_s=1e-3, router=router)
+    log = []
+
+    def move():
+        router.reassign("b", 1)
+        net.rehome("b")
+
+    _rehome_workload(net, lambda i: sharded.shard(0), log, move)
+    sharded.run()
+    assert log == serial_log
+    assert sharded.now == serial_engine.now
+    # The move actually happened: the recreated a->b link lives on
+    # shard 1 and the post-move traffic crossed shards.
+    assert net.link("a", "b").engine is sharded.shard(1)
+    assert router.cross_shard_messages == 4
+
+
+def test_rehome_folds_retired_traffic_into_totals():
+    engine = Engine()
+    net = Network(engine)
+    engine.process(net.send("a", "b", 500))
+    engine.process(net.send("b", "c", 300))
+    engine.process(net.send("c", "a", 200))
+    engine.run()
+    before_bytes, before_msgs = net.total_bytes, net.total_messages
+    assert before_bytes == 1000 and before_msgs == 3
+    net.rehome("b")
+    # Both links touching "b" were retired; accounting must not lose
+    # their traffic, and the surviving c->a link is untouched.
+    assert ("a", "b") not in net._links and ("b", "c") not in net._links
+    assert ("c", "a") in net._links
+    assert net.total_bytes == before_bytes
+    assert net.total_messages == before_msgs
+    # Traffic after the move accumulates on freshly created links.
+    engine.process(net.send("a", "b", 100))
+    engine.run()
+    assert net.total_bytes == before_bytes + 100
+    assert net.total_messages == before_msgs + 1
 
 
 # ---------------------------------------------------------------------------
