@@ -228,8 +228,14 @@ class MetadataStore:
             self.set_policy(event.path, event.target_path)
         elif event.op == EventType.NOOP:
             return
-        elif event.op in (EventType.EXPORT_PREP, EventType.IMPORT_COMMIT,
-                          EventType.EXPORT_COMMIT):
+        elif event.op == EventType.IMPORT_COMMIT:
+            # Protocol marker, but it carries the exporter's allocation
+            # cursor — restoring it on replay keeps recovery from
+            # re-minting numbers the exporter burned before the handoff.
+            if event.ino:
+                self.inotable.reserve_floor(event.ino)
+            return
+        elif event.op in (EventType.EXPORT_PREP, EventType.EXPORT_COMMIT):
             return  # migration protocol markers; no namespace effect
         else:  # pragma: no cover - EventType is closed
             raise FsError("EINVAL", f"unknown event {event.op}")

@@ -254,6 +254,11 @@ def migrate_subtree(
         src.mdstore.inotable.extract_client(owner) if owner is not None
         else None
     )
+    # The exporter's allocation cursor rides along: the importer must
+    # never mint a number the source already handed out, including
+    # burned ones (allocated then unlinked — no surviving row re-marks
+    # them consumed on import).
+    ino_floor = src.mdstore.inotable.next_free
     moved = src.journal.extract_open(subtree)
     if rec is not None:
         rec.note_mds_export(src, moved)
@@ -298,13 +303,15 @@ def migrate_subtree(
         return _abort("dst-crashed-before-import")
     if ino_bundle is not None:
         dst.mdstore.inotable.install_client(ino_bundle)
+    dst.mdstore.inotable.reserve_floor(ino_floor)
     if rows:
         _ensure_ancestors(dst.mdstore, subtree)
         dst.mdstore.import_subtree(rows)
     if caps_bundle:
         dst.caps.import_dirs(caps_bundle)
     import_events = _synthesize_rows(rows, dst.engine.now) + list(moved) + [
-        JournalEvent(EventType.IMPORT_COMMIT, subtree, mtime=dst.engine.now)
+        JournalEvent(EventType.IMPORT_COMMIT, subtree, ino=ino_floor,
+                     mtime=dst.engine.now)
     ]
     yield from _journal_marked(dst, import_events, rec)
 

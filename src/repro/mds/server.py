@@ -809,8 +809,15 @@ class MetadataServer:
         return Response(ok=True, value=exists), 0.0
 
     def _op_stat(self, request: Request):
-        self.stats.counter("rpcs").incr(1)
-        yield from self._cpu(self._service_time(1) + self._cache_miss_time(1))
+        # Batched stats (``count > 1``, e.g. a coalesced trace-replay
+        # run) pay per-op service like the lookup path; a recall, when
+        # one is needed, happens once per batch — every op in the batch
+        # targets the same path.
+        self.stats.counter("rpcs").incr(request.count)
+        yield from self._cpu(
+            self._service_time(request.count)
+            + self._cache_miss_time(request.count)
+        )
         latency = 0.0
         entry = self._open_writers.get(request.path)
         if entry is not None and entry[0] != request.client_id:
@@ -833,18 +840,23 @@ class MetadataServer:
         return Response(ok=True, value=inode), latency
 
     def _op_ls(self, request: Request):
-        self.stats.counter("rpcs").incr(1)
+        # ``count > 1`` is a coalesced run of identical listings: each
+        # one walks the directory, so the per-entry cost scales with the
+        # batch like the service time does.
+        self.stats.counter("rpcs").incr(request.count)
         if self.config.materialize:
             try:
                 entries = self.mdstore.listdir(request.path)
             except FsError as exc:
-                yield from self._cpu(self._service_time(1))
+                yield from self._cpu(self._service_time(request.count))
                 return Response(ok=False, error=str(exc)), 0.0
             n = len(entries)
         else:
             n = self._synthetic_sizes.get(self._dir_ino(request.path), 0)
             entries = n
-        yield from self._cpu(self._service_time(1) + n * LS_ENTRY_S)
+        yield from self._cpu(
+            self._service_time(request.count) + request.count * n * LS_ENTRY_S
+        )
         return Response(ok=True, value=entries), 0.0
 
     # -- subtree migration ---------------------------------------------------

@@ -174,6 +174,14 @@ class Histogram(_Metric):
             raise ValueError(f"percentile out of range: {p!r}")
         if self.count == 0:
             return 0.0
+        # Boundary percentiles are exact observations, not estimates: the
+        # scan below resolves rank 0 *inside* the first non-empty bucket
+        # (``cum + c >= 0`` matches immediately), which answers with a
+        # bucket interpolation where the observed extreme is known.
+        if p == 0:
+            return self.min
+        if p == 100:
+            return self.max
         rank = (p / 100.0) * self.count
         cum = 0
         for i, c in enumerate(self.counts):

@@ -90,9 +90,12 @@ def generate_trace(
     ops_probs = config.mix.probabilities()
     op_names = [n for n, _ in ops_probs]
     op_p = np.array([p for _, p in ops_probs])
-    gen = np.random.default_rng(
-        int(rng.uniform(0, 2**31))
-    )
+    # The child seed comes from an *integer* draw: truncating a float
+    # uniform to int(·) collapses the 2**31 seed space onto the ~2**31
+    # representable products of a 53-bit mantissa, so nearby RngStream
+    # states could collide on the same numpy seed (and a float-rounding
+    # change would silently reshuffle every trace).
+    gen = np.random.default_rng(rng.integers(0, 2**63))
     dir_idx = gen.choice(config.dirs, size=config.ops, p=weights)
     op_idx = gen.choice(len(op_names), size=config.ops, p=op_p)
     for d, o in zip(dir_idx, op_idx):
@@ -105,6 +108,11 @@ def replay_trace(
     """Replay a generated trace through a client (process body).
 
     Consecutive same-op/same-dir entries are batched; returns op counts.
+    The counts are the accounting contract: every counted op corresponds
+    to an op actually issued to (and serviced by) the MDS — a coalesced
+    run of ``n`` stat/ls entries goes out as one ``count=n`` request,
+    exactly like the lookup path, never as one count-1 request recorded
+    as ``n`` ops.
     """
     counts: Dict[str, int] = {}
     pending: List[Tuple[str, str]] = []
@@ -118,16 +126,20 @@ def replay_trace(
         counts[op] = counts.get(op, 0) + n
         if op == "create":
             return client.create_many(path, n, batch=batch)
-        if op == "lookup":
-            from repro.mds.server import Request
+        from repro.mds.server import Request
 
+        if op == "lookup":
             return client._call(
                 Request("lookup", path + "/probe", client.client_id, count=n),
                 op_count=n,
             )
         if op == "stat":
-            return client.stat(path)
-        return client.ls(path)
+            return client._call(
+                Request("stat", path, client.client_id, count=n), op_count=n
+            )
+        return client._call(
+            Request("ls", path, client.client_id, count=n), op_count=n
+        )
 
     for entry in generate_trace(config, rng):
         if pending and (entry != pending[0] or len(pending) >= batch):

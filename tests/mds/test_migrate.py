@@ -222,3 +222,34 @@ def test_hotspot_proposal_closes_the_loop():
         )
         assert result.status == "done"
         assert cluster.mon.authority_of("/hot") == proposal["dst_rank"]
+
+
+def test_round_trip_never_reallocates_burned_inodes():
+    """A number allocated then unlinked on one rank must stay burned
+    after the subtree migrates back (found by the stateful machine:
+    no surviving row re-marks the unlinked inode consumed on import,
+    so only the carried allocation cursor keeps it out of reach)."""
+    cluster, client = _populated(num_files=1)
+
+    def story():
+        resp = yield cluster.engine.process(client.mkdir(f"{SUBTREE}/d1"))
+        assert resp.ok
+        resp = yield cluster.engine.process(
+            client.create_many(SUBTREE, ["f1"])
+        )
+        assert resp.ok
+        burned = cluster.mds_for(SUBTREE).mdstore.resolve(f"{SUBTREE}/f1").ino
+        resp = yield cluster.engine.process(client.unlink(f"{SUBTREE}/f1"))
+        assert resp.ok
+        result = yield cluster.engine.process(
+            migrate_subtree(cluster, SUBTREE, 0)
+        )
+        assert result.status == "done"
+        resp = yield cluster.engine.process(client.mkdir(f"{SUBTREE}/d2"))
+        assert resp.ok
+        fresh = cluster.mds_for(SUBTREE).mdstore.resolve(f"{SUBTREE}/d2").ino
+        assert fresh != burned
+
+    result = cluster.run(migrate_subtree(cluster, SUBTREE, 1))
+    assert result.status == "done"
+    cluster.run(story())

@@ -95,6 +95,11 @@ def test_percentile_pinning_regression():
     assert h.percentile(50) == 0.00123
     assert h.percentile(95) == 0.00123
     assert h.percentile(99) == 0.00123
+    # Boundary percentiles must be the exact observed extremes, not a
+    # bucket interpolation (regression: p=0 used to resolve inside the
+    # first non-empty bucket before the boundary early-returns).
+    assert h.percentile(0) == 0.00123
+    assert h.percentile(100) == 0.00123
     d = h.to_dict()
     assert d["p50"] == d["p95"] == d["p99"] == 0.00123
     assert d["min"] == d["max"] == 0.00123
@@ -106,6 +111,22 @@ def test_percentile_never_leaves_observed_range():
         h.observe(v)
     for p in (0, 10, 50, 90, 99, 100):
         assert 0.0001 <= h.percentile(p) <= 0.25
+
+
+def test_percentile_boundaries_are_exact_extremes():
+    """p=0 is exactly the observed min, p=100 exactly the observed max,
+    for distributions spanning several (and the overflow) buckets."""
+    h = Histogram("lat_s", bounds=(1.0, 2.0, 4.0))
+    for v in (1.25, 1.75, 3.0, 9.5):  # last lands in the overflow bucket
+        h.observe(v)
+    assert h.percentile(0) == 1.25
+    assert h.percentile(100) == 9.5
+    # Merging preserves the exact boundary answers too.
+    other = Histogram("lat_s", bounds=(1.0, 2.0, 4.0))
+    other.observe(0.5)
+    h.merge(other)
+    assert h.percentile(0) == 0.5
+    assert h.percentile(100) == 9.5
 
 
 def test_empty_histogram_is_all_zero():

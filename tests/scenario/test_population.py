@@ -1,0 +1,134 @@
+"""Population model: rate function, drift mapping, arrival sampling."""
+
+import pytest
+
+from repro.scenario.population import PopulationModel
+from repro.scenario.spec import ScenarioSpec
+from repro.sim.rng import RngStream
+
+
+def _spec(**pop_overrides):
+    population = {
+        "users": 10_000,
+        "rate_per_user_hz": 0.002,  # 20 ops/s base
+        "zipf_s": 1.0,
+        "dirs_per_subtree": 2,
+    }
+    population.update(pop_overrides)
+    return ScenarioSpec.from_dict(
+        {
+            "name": "pop",
+            "duration_s": 10.0,
+            "population": population,
+            "mix": {"create": 1, "stat": 3},
+            "subtrees": [{"path": "/scn/sub0"}, {"path": "/scn/sub1"}],
+        }
+    )
+
+
+def test_rate_composes_diurnal_and_bursts():
+    model = PopulationModel(
+        _spec(
+            diurnal={"period_s": 40.0, "amplitude": 0.5},
+            bursts=[{"at_s": 2.0, "duration_s": 2.0, "multiplier": 3.0}],
+        )
+    )
+    assert model.base_rate_hz == pytest.approx(20.0)
+    assert model.rate_at(0.0) == pytest.approx(20.0)  # sin(0) = 0, no burst
+    # t=10 is the diurnal peak (quarter period): 20 * 1.5.
+    assert model.rate_at(10.0) == pytest.approx(30.0)
+    # Inside the burst window the multiplier applies on top of diurnal.
+    assert model.rate_at(3.0) == pytest.approx(
+        20.0 * (1 + 0.5 * __import__("numpy").sin(2 * 3.14159265358979 * 3 / 40))
+        * 3.0, rel=1e-6,
+    )
+    # The burst window is half-open: at t=4.0 only the diurnal factor
+    # remains.
+    assert model.rate_at(4.0) == pytest.approx(
+        20.0 * (1 + 0.5 * __import__("numpy").sin(2 * 3.14159265358979 * 4 / 40)),
+        rel=1e-6,
+    )
+
+
+def test_max_rate_bounds_overlapping_bursts():
+    model = PopulationModel(
+        _spec(
+            diurnal={"period_s": 40.0, "amplitude": 0.25},
+            bursts=[
+                {"at_s": 1.0, "duration_s": 4.0, "multiplier": 2.0},
+                {"at_s": 3.0, "duration_s": 4.0, "multiplier": 3.0},
+            ],
+        )
+    )
+    # Overlap window [3, 5) multiplies both bursts: envelope must cover it.
+    assert model.max_rate() == pytest.approx(20.0 * 1.25 * 6.0)
+    for t in (0.0, 2.0, 3.5, 4.99, 6.0, 9.9):
+        assert model.rate_at(t) <= model.max_rate() + 1e-9
+
+
+def test_drift_rotates_hotspot_across_subtrees():
+    model = PopulationModel(_spec(drift={"period_s": 2.0, "stride": 0}))
+    # stride 0 -> one subtree's worth (dirs_per_subtree = 2).
+    assert model.hotspot_offset(0.0) == 0
+    assert model.hotspot_offset(2.0) == 2
+    assert model.hotspot_offset(4.0) == 0  # wraps: 2 subtrees x 2 dirs
+    assert model.hot_subtree(0.0) == "/scn/sub0"
+    assert model.hot_subtree(2.0) == "/scn/sub1"
+    assert model.hot_subtree(4.0) == "/scn/sub0"
+    # Rank 0 maps to successive directories as the offset advances.
+    assert model.dir_path(0, 0.0) == "/scn/sub0/dir0"
+    assert model.dir_path(0, 2.0) == "/scn/sub1/dir0"
+
+
+def test_no_drift_keeps_mapping_fixed():
+    model = PopulationModel(_spec())
+    assert model.hotspot_offset(9.0) == 0
+    assert model.dir_path(3, 9.0) == "/scn/sub1/dir1"
+
+
+def test_arrivals_deterministic_and_in_window():
+    model = PopulationModel(_spec())
+    a = list(model.arrivals(RngStream(7, "arr")))
+    b = list(model.arrivals(RngStream(7, "arr")))
+    c = list(model.arrivals(RngStream(8, "arr")))
+    assert a == b
+    assert a != c
+    times = [x.t for x in a]
+    assert times == sorted(times)
+    assert all(0 <= t < 10.0 for t in times)
+    assert all(x.op in ("create", "stat") for x in a)
+    assert all(x.path.startswith("/scn/sub") for x in a)
+
+
+def test_arrival_count_tracks_offered_rate():
+    # 20 ops/s x 10 s = 200 expected; Poisson sd ~ 14.
+    model = PopulationModel(_spec())
+    n = len(list(model.arrivals(RngStream(1, "rate"))))
+    assert 140 <= n <= 260
+
+
+def test_burst_concentrates_arrivals():
+    model = PopulationModel(
+        _spec(bursts=[{"at_s": 4.0, "duration_s": 2.0, "multiplier": 10.0}])
+    )
+    arrivals = list(model.arrivals(RngStream(2, "burst")))
+    in_burst = sum(1 for x in arrivals if 4.0 <= x.t < 6.0)
+    # The 2 s burst window carries 10x the rate: 200 expected inside
+    # vs 160 outside.
+    assert in_burst > len(arrivals) / 2
+
+
+def test_zipf_prefers_low_ranks():
+    model = PopulationModel(_spec(zipf_s=1.4, rate_per_user_hz=0.02))
+    arrivals = list(model.arrivals(RngStream(3, "zipf")))
+    hot = sum(1 for x in arrivals if x.path == "/scn/sub0/dir0")
+    cold = sum(1 for x in arrivals if x.path == "/scn/sub1/dir1")
+    assert hot > 2 * cold
+
+
+def test_weights_normalized_and_skewed():
+    model = PopulationModel(_spec())
+    weights = model.weights()
+    assert len(weights) == 4
+    assert sum(weights) == pytest.approx(1.0)
+    assert weights[0] > weights[-1]

@@ -1,13 +1,18 @@
 """Tests for the parameterized trace generator."""
 
+from collections import Counter
+
+import numpy as np
 import pytest
 
 from repro.cluster import Cluster
 from repro.mds.server import MDSConfig
+from repro.obs import Observability
 from repro.sim.rng import RngStream
 from repro.workloads.generators import (
     OpMix,
     TraceConfig,
+    _dir_weights,
     generate_trace,
     replay_trace,
 )
@@ -82,6 +87,101 @@ def test_replay_trace_end_to_end():
     assert counts["create"] > counts["lookup"]
     assert cluster.now > 0
     assert cluster.mds.stats.counter("creates").value == counts["create"]
+
+
+def test_replay_counts_equal_issued_requests():
+    """Regression: reported op counts must equal ops actually issued.
+
+    A coalesced run of ``n`` stat/ls entries used to be issued as one
+    count-1 request while still being counted as ``n`` completed ops,
+    silently inflating reported throughput.  The client-side ``ops``
+    counter (incremented by the op_count each RPC exchange covers) is
+    the ground truth for what was issued.
+    """
+    cluster = Cluster(mds_config=MDSConfig(materialize=False))
+    obs = Observability(cluster).attach()
+    client = cluster.new_client()
+    cfg = TraceConfig(
+        ops=800, dirs=3, zipf_s=1.4,
+        mix=OpMix(create=1, lookup=1, stat=2, ls=1),
+    )
+    counts = cluster.run(replay_trace(client, cfg, RngStream(11, "issued")))
+    assert sum(counts.values()) == 800
+    for op in ("create", "lookup", "stat", "ls"):
+        issued = obs.hub.get(
+            "ops", daemon=client.name, mechanism="rpc", op=op
+        )
+        assert issued is not None, f"no {op} requests issued"
+        assert counts[op] == issued.value, (
+            f"{op}: counted {counts[op]} vs issued {issued.value}"
+        )
+    # MDS-side agreement: every issued stat/ls/lookup was serviced.
+    mds_requests = {
+        op: obs.hub.get("requests", daemon="mds0", mechanism="rpc", op=op)
+        for op in ("stat", "ls", "lookup")
+    }
+    for op, metric in mds_requests.items():
+        assert metric is not None and metric.value == counts[op]
+    obs.detach()
+
+
+def test_generate_trace_cross_run_determinism():
+    """Pin the child-seed derivation: the trace for a fixed RngStream
+    must be byte-identical across runs and processes (integer-draw
+    derivation — a float-truncation change would silently reshuffle
+    every trace and collide nearby stream states)."""
+    cfg = TraceConfig(
+        ops=8, dirs=5, zipf_s=1.0,
+        mix=OpMix(create=2, lookup=1, stat=1, ls=1),
+    )
+    assert list(generate_trace(cfg, RngStream(0, "pin"))) == [
+        ("ls", "/trace/dir4"),
+        ("lookup", "/trace/dir4"),
+        ("create", "/trace/dir2"),
+        ("lookup", "/trace/dir1"),
+        ("ls", "/trace/dir0"),
+        ("stat", "/trace/dir3"),
+        ("lookup", "/trace/dir0"),
+        ("ls", "/trace/dir4"),
+    ]
+
+
+def test_dir_weights_monotone_and_normalized():
+    """Zipf directory weights: normalized, and monotone non-increasing
+    in rank for every exponent (strictly decreasing when s > 0)."""
+    for s in (0.0, 0.5, 1.0, 1.5):
+        w = _dir_weights(TraceConfig(ops=1, dirs=64, zipf_s=s))
+        assert w.sum() == pytest.approx(1.0)
+        assert (w > 0).all()
+        if s == 0:
+            assert np.allclose(w, 1.0 / 64)
+        else:
+            assert (np.diff(w) < 0).all()
+    # Heavier exponent concentrates more mass on rank 1.
+    w1 = _dir_weights(TraceConfig(ops=1, dirs=64, zipf_s=1.0))
+    w2 = _dir_weights(TraceConfig(ops=1, dirs=64, zipf_s=1.5))
+    assert w2[0] > w1[0]
+
+
+def test_op_mix_frequencies_match_probabilities():
+    """Generated op frequencies at a fixed seed stay within tolerance
+    of the configured mix probabilities."""
+    mix = OpMix(create=5, lookup=2, stat=2, ls=1)
+    cfg = TraceConfig(ops=20_000, dirs=8, mix=mix)
+    freq = Counter(op for op, _ in generate_trace(cfg, RngStream(3, "mix")))
+    for op, p in mix.probabilities():
+        assert freq[op] / cfg.ops == pytest.approx(p, abs=0.01)
+
+
+def test_zipf_dir_frequencies_match_weights():
+    """Observed directory popularity tracks the configured Zipf weights
+    at a fixed seed (top-ranked dirs within tolerance)."""
+    cfg = TraceConfig(ops=20_000, dirs=10, zipf_s=1.0)
+    weights = _dir_weights(cfg)
+    freq = Counter(path for _, path in generate_trace(cfg, RngStream(4, "zipf")))
+    for rank in range(3):
+        observed = freq[f"/trace/dir{rank}"] / cfg.ops
+        assert observed == pytest.approx(float(weights[rank]), abs=0.02)
 
 
 def test_replay_skewed_trace_triggers_more_contention():
